@@ -1,0 +1,85 @@
+"""E10 (reference [2], ICDE 2009): leveraging count information.
+
+HDSampler ignores Google Base's counts because they are untrusted, but its
+sample generator builds on the count-leveraging ideas of [2].  This benchmark
+quantifies what counts buy: the count-aided drill-down versus the count-free
+random walk on the same skewed categorical database, with exact and with noisy
+counts, reporting queries per sample and marginal accuracy.
+"""
+
+from __future__ import annotations
+
+from conftest import record_report
+
+from repro.algorithms.count_based import CountAidedSampler
+from repro.algorithms.random_walk import RandomWalkConfig, RandomWalkSampler
+from repro.analytics.histogram import histogram_from_samples
+from repro.analytics.report import render_table
+from repro.analytics.skew import total_variation_distance
+from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.database.stats import ground_truth_marginal
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+
+N_SAMPLES = 150
+
+
+def _build_table():
+    return generate_categorical_table(
+        CategoricalConfig(n_rows=3_000, cardinalities=(6, 5, 4), skew=1.2, seed=91)
+    )
+
+
+def _run_count_aided(table, count_mode: CountMode, label: str):
+    interface = HiddenDatabaseInterface(table, k=200, count_mode=count_mode, count_noise=0.3, seed=0)
+    sampler = CountAidedSampler(interface, use_rejection=(count_mode is CountMode.NOISY), seed=93)
+    samples = sampler.draw_samples(N_SAMPLES, max_attempts=20_000)
+    return label, samples, sampler.report.queries_issued
+
+
+def _run_random_walk(table):
+    interface = HiddenDatabaseInterface(table, k=200, count_mode=CountMode.NONE, seed=0)
+    sampler = RandomWalkSampler(interface, config=RandomWalkConfig(efficiency=0.5), seed=94)
+    samples = sampler.draw_samples(N_SAMPLES, max_attempts=60_000)
+    return "random walk (no counts)", samples, sampler.report.queries_issued
+
+
+def test_count_aided_vs_count_free(benchmark):
+    table = _build_table()
+
+    def run_all():
+        return [
+            _run_count_aided(table, CountMode.EXACT, "count-aided (exact counts)"),
+            _run_count_aided(table, CountMode.NOISY, "count-aided (noisy counts, ±30%)"),
+            _run_random_walk(table),
+        ]
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    truth = ground_truth_marginal(table, "c1")
+    rows = []
+    for label, samples, queries in runs:
+        marginal = histogram_from_samples(samples, "c1").proportions()
+        distance = total_variation_distance(marginal, truth)
+        per_sample = queries / len(samples) if samples else float("inf")
+        rows.append([label, str(len(samples)), str(queries), f"{per_sample:.2f}", f"{distance:.3f}"])
+
+    table_text = render_table(
+        ["sampler", "samples", "queries", "queries/sample", "TV(c1) vs truth"], rows
+    )
+    lines = table_text.splitlines() + [
+        "",
+        "expected shape: exact counts eliminate rejections entirely and give the",
+        "lowest skew, noisy counts sit in between.  The count-free walk is cheaper",
+        "per raw candidate on this generous interface (k=200) but pays with visibly",
+        "higher skew; matching the count-aided accuracy without counts requires a",
+        "lower slider position and many rejected candidates (see E5).",
+    ]
+    record_report("E10", "count-aided vs count-free sampling (ICDE'09 [2])", lines)
+
+    by_label = {label: (samples, queries) for label, samples, queries in runs}
+    exact_samples, _ = by_label["count-aided (exact counts)"]
+    assert len(exact_samples) == N_SAMPLES
+    exact_tv = total_variation_distance(
+        histogram_from_samples(exact_samples, "c1").proportions(), truth
+    )
+    assert exact_tv < 0.2

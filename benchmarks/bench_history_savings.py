@@ -1,0 +1,78 @@
+"""E7 (Section 3.2): query savings from the query-history cache.
+
+"This module also keeps track of the query history and results to ensure that
+the random query generation process accumulates savings by not issuing the
+same query twice, or queries whose results can be inferred from the query
+history."  The benchmark runs the identical sampling workload with and without
+the cache and reports the interface queries actually issued.
+"""
+
+from __future__ import annotations
+
+from conftest import record_report
+
+from repro.analytics.report import render_table
+from repro.core.config import HDSamplerConfig
+from repro.core.hdsampler import HDSampler
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.interface import HiddenDatabaseInterface
+from repro.datasets.boolean import BooleanConfig, generate_boolean_table
+
+N_SAMPLES = 200
+
+
+def _build_table():
+    # Correlated boolean data creates many repeated sub-queries, the situation
+    # the history optimisation exploits best.
+    return generate_boolean_table(
+        BooleanConfig(
+            n_rows=2_000, n_attributes=8, distribution="correlated",
+            probability=0.6, skew=0.7, seed=61,
+        )
+    )
+
+
+def _run(table, use_history: bool):
+    interface = HiddenDatabaseInterface(table, k=15, seed=0)
+    config = HDSamplerConfig(
+        n_samples=N_SAMPLES,
+        tradeoff=TradeoffSlider(0.8),
+        use_history=use_history,
+        max_attempts=40_000,
+        seed=67,
+    )
+    result = HDSampler(interface, config).run()
+    return result, interface.statistics.queries_issued
+
+
+def test_history_cache_savings(benchmark):
+    table = _build_table()
+
+    def run_both():
+        return _run(table, use_history=True), _run(table, use_history=False)
+
+    (with_history, issued_with), (without_history, issued_without) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    saving = 1.0 - issued_with / issued_without if issued_without else 0.0
+    rows = [
+        ["with history cache", str(with_history.sample_count), str(issued_with),
+         f"{issued_with / with_history.sample_count:.2f}"],
+        ["without history cache", str(without_history.sample_count), str(issued_without),
+         f"{issued_without / without_history.sample_count:.2f}"],
+    ]
+    table_text = render_table(["configuration", "samples", "interface queries", "queries/sample"], rows)
+    history = with_history.history_report or {}
+    lines = table_text.splitlines() + [
+        "",
+        f"cache submissions: {int(history.get('submissions', 0))}, exact hits: "
+        f"{int(history.get('exact_hits', 0))}, inferred answers: {int(history.get('inferred', 0))}",
+        f"interface queries saved versus no cache: {saving:.1%}",
+        "expected shape: the cached run issues strictly fewer interface queries for",
+        "the same number of samples.",
+    ]
+    record_report("E7", "query-history optimisation savings", lines)
+
+    assert with_history.sample_count == without_history.sample_count == N_SAMPLES
+    assert issued_with < issued_without

@@ -1,0 +1,77 @@
+"""E9 (Section 1): "a snapshot of the marginal distribution … in a matter of minutes".
+
+The paper's efficiency claim is comparative: a useful marginal snapshot costs
+a few hundred interface queries, while crawling the database (the alternative
+that meta-search engines would otherwise need) costs as many queries as there
+are tuples divided by k at the very least, and the uniform brute-force
+baseline costs orders of magnitude more per sample.  The report puts the
+three numbers side by side, together with wall-clock time of the HDSampler
+run on the simulated catalogue.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import make_vehicles_interface, record_report
+
+from repro.analytics.report import render_table
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.hdsampler import HDSampler
+from repro.core.tradeoff import TradeoffSlider
+
+N_SAMPLES = 150
+ATTRIBUTES = ("make", "color", "condition")
+
+
+def _run_hdsampler(vehicles_table):
+    interface = make_vehicles_interface(vehicles_table)
+    config = HDSamplerConfig(
+        n_samples=N_SAMPLES, attributes=ATTRIBUTES, tradeoff=TradeoffSlider(0.55), seed=81
+    )
+    started = time.perf_counter()
+    result = HDSampler(interface, config).run()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_minutes_claim(benchmark, vehicles_table):
+    result, elapsed = benchmark.pedantic(_run_hdsampler, args=(vehicles_table,), rounds=1, iterations=1)
+
+    brute = HDSampler(
+        make_vehicles_interface(vehicles_table),
+        HDSamplerConfig(
+            n_samples=40, attributes=ATTRIBUTES, algorithm=SamplerAlgorithm.BRUTE_FORCE,
+            max_attempts=500_000, seed=82,
+        ),
+    ).run()
+
+    n_rows = len(vehicles_table)
+    k = 100
+    crawl_lower_bound = (n_rows + k - 1) // k  # even a perfect crawl needs >= N/k queries
+    schema_leaves = 1
+    for name in ATTRIBUTES:
+        schema_leaves *= vehicles_table.schema.attribute(name).cardinality
+
+    rows = [
+        ["HDSampler marginal snapshot", str(result.queries_issued),
+         f"{result.queries_per_sample:.1f}", f"{elapsed:.1f}s"],
+        ["brute-force uniform sampler", str(brute.queries_issued),
+         f"{brute.queries_per_sample:.1f}" if brute.sample_count else "inf", "-"],
+        ["full crawl (lower bound N/k)", str(crawl_lower_bound), "-", "-"],
+        ["exhaustive leaf enumeration", str(schema_leaves), "-", "-"],
+    ]
+    table = render_table(["approach", "interface queries", "queries/sample", "wall clock"], rows)
+    lines = table.splitlines() + [
+        "",
+        f"samples collected: {result.sample_count} over attributes {', '.join(ATTRIBUTES)}",
+        "expected shape: the sampler's per-sample cost sits well below the brute-force",
+        "baseline.  The crawl lower bound N/k is small on this 5k-row simulation, but",
+        "it scales linearly with the database size (millions of tuples on Google Base)",
+        "while the sampler's cost does not - which is why a marginal snapshot takes",
+        "minutes rather than a prohibitive crawl.",
+    ]
+    record_report("E9", "'matter of minutes' efficiency claim", lines)
+
+    assert result.sample_count == N_SAMPLES
+    assert result.queries_per_sample < brute.queries_per_sample

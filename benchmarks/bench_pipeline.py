@@ -1,0 +1,51 @@
+"""E2 (Figure 2 / Section 3): end-to-end throughput of the four-module pipeline.
+
+Runs the full generator → processor → output pipeline on the simulated
+vehicles catalogue and reports the numbers the demo's progress view shows:
+samples collected, interface queries spent, queries per sample, acceptance
+rate of the Sample Processor, and query savings of the history cache.
+"""
+
+from __future__ import annotations
+
+from conftest import record_report
+
+from repro.analytics.report import render_key_values
+from repro.core.config import HDSamplerConfig
+from repro.core.hdsampler import HDSampler
+from repro.core.tradeoff import TradeoffSlider
+
+N_SAMPLES = 200
+
+
+def _run_pipeline(interface) -> dict:
+    config = HDSamplerConfig(
+        n_samples=N_SAMPLES,
+        attributes=("make", "color", "body_style", "condition"),
+        tradeoff=TradeoffSlider(0.6),
+        seed=17,
+    )
+    result = HDSampler(interface, config).run()
+    return result.summary()
+
+
+def test_pipeline_throughput(benchmark, vehicles_interface):
+    summary = benchmark.pedantic(_run_pipeline, args=(vehicles_interface,), rounds=1, iterations=1)
+
+    lines = render_key_values(
+        [
+            ("samples collected", summary["samples"]),
+            ("interface queries issued", summary["queries_issued"]),
+            ("queries per sample", f"{summary['queries_per_sample']:.2f}"),
+            ("processor acceptance rate", f"{summary['processor_acceptance_rate']:.3f}"),
+            ("failed walks", int(summary["generator_failed_walks"])),
+            ("history: submissions", int(summary["history_submissions"])),
+            ("history: answered locally", int(summary["history_saved"])),
+            ("history: saving ratio", f"{summary['history_saving_ratio']:.3f}"),
+            ("terminal state", summary["state"]),
+        ]
+    ).splitlines()
+    record_report("E2", "end-to-end pipeline throughput (vehicles, k=100, 200 samples)", lines)
+
+    assert summary["samples"] == N_SAMPLES
+    assert summary["queries_per_sample"] > 1.0

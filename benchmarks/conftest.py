@@ -1,0 +1,72 @@
+"""Shared infrastructure of the benchmark harness.
+
+Every benchmark reproduces one experiment of DESIGN.md (E1–E11).  Besides the
+pytest-benchmark timing, each benchmark registers the *rows/series the paper
+reports* (marginal percentages, queries per sample, savings ratios, ...)
+through :func:`record_report`; they are printed in the terminal summary at the
+end of the run so that ``pytest benchmarks/ --benchmark-only`` produces both
+the timing table and the experiment tables in one pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.datasets.vehicles import VehiclesConfig, default_vehicles_ranking, generate_vehicles_table
+
+#: Ordered registry of experiment reports: (experiment id, title, lines).
+_REPORTS: list[tuple[str, str, list[str]]] = []
+
+
+def record_report(experiment_id: str, title: str, lines: list[str]) -> None:
+    """Register the printable rows of one experiment for the terminal summary."""
+    _REPORTS.append((experiment_id, title, [str(line) for line in lines]))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103 - pytest hook
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "HDSampler reproduction: experiment reports")
+    for experiment_id, title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", f"{experiment_id}: {title}")
+        for line in lines:
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+
+
+# ------------------------------------------------------------------------------------
+# Shared workloads (kept moderate so the whole harness runs in a few minutes)
+# ------------------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def vehicles_table():
+    """The simulated Google Base Vehicles catalogue used by the E2–E9 benches."""
+    return generate_vehicles_table(VehiclesConfig(n_rows=5_000, seed=2009))
+
+
+@pytest.fixture()
+def vehicles_interface(vehicles_table):
+    """A fresh count-free interface over the catalogue (k=100, score ranking)."""
+    return HiddenDatabaseInterface(
+        vehicles_table,
+        k=100,
+        ranking=default_vehicles_ranking(),
+        count_mode=CountMode.NONE,
+        display_columns=("title",),
+        seed=0,
+    )
+
+
+def make_vehicles_interface(vehicles_table, k: int = 100, count_mode: CountMode = CountMode.NONE):
+    """Build a fresh interface with custom ``k``/count mode (benchmarks vary these)."""
+    return HiddenDatabaseInterface(
+        vehicles_table,
+        k=k,
+        ranking=default_vehicles_ranking(),
+        count_mode=count_mode,
+        display_columns=("title",),
+        seed=0,
+    )

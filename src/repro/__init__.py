@@ -1,0 +1,33 @@
+"""repro — a reproduction of HDSampler (SIGMOD 2009).
+
+HDSampler samples structured hidden web databases through their conjunctive
+web form interfaces and turns the samples into marginal histograms and
+approximate aggregate answers.  This package implements the full system and
+every substrate it needs: the hidden-database simulator with a top-k form
+interface, an HTML form/result-page layer and its scraping client, the
+HIDDEN-DB-SAMPLER / BRUTE-FORCE / count-aided sampling algorithms, the
+four-module HDSampler pipeline, and the analytics used to evaluate it.
+
+The most common entry points are re-exported here::
+
+    from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+    from repro.database import HiddenDatabaseInterface
+    from repro.datasets import generate_vehicles_table
+"""
+
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.hdsampler import HDSampler, SamplingResult
+from repro.core.tradeoff import TradeoffSlider
+from repro.exceptions import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "HDSampler",
+    "HDSamplerConfig",
+    "ReproError",
+    "SamplerAlgorithm",
+    "SamplingResult",
+    "TradeoffSlider",
+    "__version__",
+]

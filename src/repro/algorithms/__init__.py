@@ -1,0 +1,63 @@
+"""Sampling algorithms over conjunctive web form interfaces.
+
+This subpackage contains the algorithms HDSampler packages:
+
+* :class:`~repro.algorithms.random_walk.RandomWalkSampler` — HIDDEN-DB-SAMPLER
+  (Dasgupta, Das & Mannila, SIGMOD 2007): random drill-down through the query
+  tree with acceptance–rejection correction;
+* :class:`~repro.algorithms.brute_force.BruteForceSampler` — the provably
+  uniform but impractically slow baseline the paper validates against;
+* :class:`~repro.algorithms.count_based.CountAidedSampler` — the ICDE 2009
+  count-leveraging sampler used when the interface reports match counts;
+* :mod:`~repro.algorithms.acceptance_rejection` — the shared
+  acceptance–rejection machinery and the efficiency↔skew scaling factor;
+* :mod:`~repro.algorithms.ordering` — attribute-ordering strategies for the
+  drill-down.
+"""
+
+from repro.algorithms.base import (
+    Candidate,
+    HiddenSampler,
+    SampleRecord,
+    SamplerReport,
+    WalkStep,
+    WalkTrace,
+)
+from repro.algorithms.ordering import (
+    AttributeOrdering,
+    CardinalityAwareOrdering,
+    FixedOrdering,
+    RandomOrdering,
+)
+from repro.algorithms.acceptance_rejection import (
+    AcceptAllPolicy,
+    AcceptancePolicy,
+    ScaledAcceptancePolicy,
+    UniformAcceptancePolicy,
+    scale_for_tradeoff,
+)
+from repro.algorithms.random_walk import RandomWalkConfig, RandomWalkSampler
+from repro.algorithms.brute_force import BruteForceSampler
+from repro.algorithms.count_based import CountAidedSampler
+
+__all__ = [
+    "AcceptAllPolicy",
+    "AcceptancePolicy",
+    "AttributeOrdering",
+    "BruteForceSampler",
+    "Candidate",
+    "CardinalityAwareOrdering",
+    "CountAidedSampler",
+    "FixedOrdering",
+    "HiddenSampler",
+    "RandomOrdering",
+    "RandomWalkConfig",
+    "RandomWalkSampler",
+    "SampleRecord",
+    "SamplerReport",
+    "ScaledAcceptancePolicy",
+    "UniformAcceptancePolicy",
+    "WalkStep",
+    "WalkTrace",
+    "scale_for_tradeoff",
+]

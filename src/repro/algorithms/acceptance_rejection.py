@@ -1,0 +1,152 @@
+"""Acceptance–rejection: turning biased candidates into (near-)uniform samples.
+
+A random drill-down reaches tuples sitting behind shallow, small result pages
+much more often than tuples hiding deep in the query tree.  Formally, a
+candidate ``t`` produced by one walk has a *selection probability*
+``p(t)`` — the product of the per-level choice probabilities times the
+``1/s`` of picking it among the ``s`` tuples of the final valid query.  If
+every candidate is kept, the sample is skewed proportionally to ``p(t)``.
+
+Acceptance–rejection fixes that: accept ``t`` with probability
+``a(t) = min(1, C / p(t))`` for a *scaling factor* ``C``.  Tuples for which
+``C / p(t) <= 1`` end up in the output with probability exactly ``C``
+(uniform); tuples with ``p(t) < C`` are capped at 1 and remain slightly
+over-represented relative to nothing but under-represented relative to the
+easy tuples... in short:
+
+* small ``C`` → few candidates capped → low skew, but most candidates are
+  rejected → many more queries per accepted sample;
+* large ``C`` → high acceptance → fast, but the easy-to-reach tuples keep
+  their advantage → more skew.
+
+This is exactly the efficiency↔skew slider of the HDSampler front end
+(paper Section 3.1).  :func:`scale_for_tradeoff` maps the slider position to
+``C`` on a log scale between the perfectly-uniform value (the smallest
+possible selection probability of the schema) and 1.0 (accept everything).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.algorithms.base import Candidate
+from repro.database.schema import Schema
+from repro.exceptions import ConfigurationError
+
+
+class AcceptancePolicy(abc.ABC):
+    """Decides the probability with which a candidate becomes a sample."""
+
+    @abc.abstractmethod
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        """Return the acceptance probability of ``candidate`` in ``[0, 1]``."""
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports."""
+        return type(self).__name__
+
+
+class AcceptAllPolicy(AcceptancePolicy):
+    """Keep every candidate (maximum efficiency, maximum skew)."""
+
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        return 1.0
+
+
+class ScaledAcceptancePolicy(AcceptancePolicy):
+    """The SIGMOD'07 correction: accept with probability ``min(1, C / p(t))``."""
+
+    def __init__(self, scale: float) -> None:
+        if scale <= 0:
+            raise ConfigurationError("the scaling factor C must be positive")
+        self.scale = scale
+
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        probability = candidate.selection_probability
+        if probability <= 0:
+            return 1.0
+        return min(1.0, self.scale / probability)
+
+
+class UniformAcceptancePolicy(ScaledAcceptancePolicy):
+    """A scaled policy whose ``C`` guarantees zero capping for a given schema.
+
+    With ``C`` equal to the smallest achievable selection probability
+    (deepest path, every branching taken, a full result page of ``k``
+    tuples), ``C / p(t)`` never exceeds 1, so accepted samples are exactly
+    uniform over the tuples reachable by the walk.  The price is a very low
+    acceptance rate on large schemas — which is the paper's point about the
+    tradeoff.
+    """
+
+    def __init__(self, schema: Schema, k: int) -> None:
+        super().__init__(scale=minimum_selection_probability(schema, k))
+
+
+def minimum_selection_probability(schema: Schema, k: int) -> float:
+    """The smallest selection probability any tuple can have under a drill-down.
+
+    A walk that constrains every attribute (depth ``len(schema)``) and then
+    picks one tuple out of a full page of ``k`` selects a given tuple with
+    probability ``prod(1 / |dom_i|) / k``; no reachable tuple can have a
+    smaller one.
+    """
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    probability = 1.0 / float(k)
+    for attribute in schema:
+        probability /= attribute.cardinality
+    return probability
+
+
+def maximum_selection_probability(schema: Schema) -> float:
+    """The largest selection probability any tuple can have under a drill-down.
+
+    The best case is a tuple returned alone (``s = 1``) by the very first
+    query of the walk, whose choice probability is ``1 / |dom|`` of the
+    first-drilled attribute; the attribute with the smallest domain bounds it.
+    """
+    smallest_domain = min(attribute.cardinality for attribute in schema)
+    return 1.0 / float(smallest_domain)
+
+
+def scale_for_tradeoff(schema: Schema, k: int, efficiency: float) -> float:
+    """Map the front end's efficiency↔skew slider to a scaling factor ``C``.
+
+    ``efficiency = 0`` returns the perfectly-uniform scale
+    (:func:`minimum_selection_probability`); ``efficiency = 1`` returns 1.0
+    (accept everything); intermediate positions interpolate log-linearly, so
+    each slider step multiplies the acceptance rate by a constant factor —
+    which matches how the tradeoff feels to a user ("twice as fast, a bit
+    more skew").
+    """
+    if not 0.0 <= efficiency <= 1.0:
+        raise ConfigurationError("efficiency must be between 0 and 1")
+    uniform_scale = minimum_selection_probability(schema, k)
+    if efficiency == 0.0:
+        return uniform_scale
+    if efficiency == 1.0:
+        return 1.0
+    log_low = math.log(uniform_scale)
+    log_high = math.log(1.0)
+    return math.exp(log_low + efficiency * (log_high - log_low))
+
+
+def expected_acceptance_rate(scale: float, selection_probabilities: list[float]) -> float:
+    """Average acceptance probability over observed candidate probabilities.
+
+    A diagnostic used by the tradeoff benchmark: given the selection
+    probabilities of candidates seen so far, what fraction would policy ``C``
+    accept?
+    """
+    if not selection_probabilities:
+        return 0.0
+    total = 0.0
+    for probability in selection_probabilities:
+        if probability <= 0:
+            total += 1.0
+        else:
+            total += min(1.0, scale / probability)
+    return total / len(selection_probabilities)

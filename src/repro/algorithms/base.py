@@ -1,0 +1,259 @@
+"""Shared data structures and the sampler abstract base class.
+
+The split mirrors the paper's architecture: an algorithm produces
+*candidates* — tuples drawn through the interface together with the
+probability with which the procedure selected them — and a separate
+acceptance–rejection step (the Sample Processor) decides which candidates
+become samples.  Stand-alone use is still convenient: every sampler exposes
+:meth:`HiddenSampler.draw_samples`, which runs candidate generation and its
+configured acceptance policy in a loop until the requested number of accepted
+samples is reached.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro._rng import resolve_rng
+from repro.database.interface import HiddenDatabase, InterfaceResponse, ReturnedTuple
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import Value
+from repro.exceptions import QueryBudgetExceededError, SamplingError
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One issued query during a drill-down walk and how it was classified."""
+
+    query: ConjunctiveQuery
+    overflow: bool
+    returned_count: int
+    reported_count: int | None
+
+
+@dataclass(frozen=True)
+class WalkTrace:
+    """The full trace of one candidate-generation attempt.
+
+    Traces power the efficiency analytics (queries per sample, depth
+    distribution) and make the benchmarks auditable: every number reported by
+    a benchmark can be recomputed from traces.
+    """
+
+    steps: tuple[WalkStep, ...]
+    attribute_order: tuple[str, ...]
+
+    @property
+    def queries_issued(self) -> int:
+        """Number of interface queries this attempt consumed."""
+        return len(self.steps)
+
+    @property
+    def depth(self) -> int:
+        """Number of predicates of the final (deepest) query of the walk."""
+        if not self.steps:
+            return 0
+        return len(self.steps[-1].query)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A tuple retrieved by a walk, before acceptance–rejection.
+
+    ``selection_probability`` is the probability with which this particular
+    procedure run would have selected this tuple (the quantity acceptance–
+    rejection must divide out to approach uniformity).  For count-aided
+    sampling with exact counts it already equals ``1 / N``.
+    """
+
+    tuple_id: int
+    values: Mapping[str, Value]
+    selectable_values: Mapping[str, Value]
+    selection_probability: float
+    trace: WalkTrace
+    source: str
+
+    @classmethod
+    def from_returned_tuple(
+        cls,
+        returned: ReturnedTuple,
+        selection_probability: float,
+        trace: WalkTrace,
+        source: str,
+    ) -> "Candidate":
+        """Build a candidate from an interface tuple plus bookkeeping."""
+        return cls(
+            tuple_id=returned.tuple_id,
+            values=dict(returned.values),
+            selectable_values=dict(returned.selectable_values),
+            selection_probability=selection_probability,
+            trace=trace,
+            source=source,
+        )
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """An accepted sample as stored by the output module."""
+
+    tuple_id: int
+    values: Mapping[str, Value]
+    selectable_values: Mapping[str, Value]
+    selection_probability: float
+    acceptance_probability: float
+    queries_spent: int
+    source: str
+
+    def value(self, attribute: str) -> Value:
+        """Raw value of ``attribute`` in this sample."""
+        return self.values[attribute]
+
+
+@dataclass
+class SamplerReport:
+    """Aggregate accounting of one sampling run."""
+
+    samples_accepted: int = 0
+    candidates_generated: int = 0
+    candidates_rejected: int = 0
+    failed_walks: int = 0
+    queries_issued: int = 0
+
+    @property
+    def queries_per_sample(self) -> float:
+        """Average interface queries spent per accepted sample."""
+        if self.samples_accepted == 0:
+            return float("inf") if self.queries_issued else 0.0
+        return self.queries_issued / self.samples_accepted
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of generated candidates that were accepted."""
+        if self.candidates_generated == 0:
+            return 0.0
+        return self.samples_accepted / self.candidates_generated
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "samples_accepted": self.samples_accepted,
+            "candidates_generated": self.candidates_generated,
+            "candidates_rejected": self.candidates_rejected,
+            "failed_walks": self.failed_walks,
+            "queries_issued": self.queries_issued,
+            "queries_per_sample": self.queries_per_sample,
+            "acceptance_rate": self.acceptance_rate,
+        }
+
+
+class HiddenSampler(abc.ABC):
+    """Abstract base class of all samplers over a hidden-database interface."""
+
+    #: Human-readable name used in sample records and reports.
+    name: str = "sampler"
+
+    def __init__(self, database: HiddenDatabase, seed: int | random.Random | None = None) -> None:
+        self.database = database
+        self.rng = resolve_rng(seed)
+        self.report = SamplerReport()
+
+    # -- candidate generation ---------------------------------------------------
+
+    @abc.abstractmethod
+    def draw_candidate(self) -> Candidate | None:
+        """Attempt to draw one candidate tuple.
+
+        Returns ``None`` when the attempt failed (e.g. the drill-down reached
+        an empty result), which is a normal outcome that simply costs queries.
+        """
+
+    # -- acceptance --------------------------------------------------------------
+
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        """Probability with which ``candidate`` should be accepted as a sample.
+
+        The default accepts everything; concrete samplers override this with
+        their acceptance–rejection correction.  The Sample Processor of the
+        HDSampler core calls this too, so the correction logic lives in one
+        place per algorithm.
+        """
+        return 1.0
+
+    # -- convenience loop ---------------------------------------------------------
+
+    def draw_samples(
+        self,
+        n_samples: int,
+        max_attempts: int | None = None,
+    ) -> list[SampleRecord]:
+        """Draw ``n_samples`` accepted samples (or fewer if attempts run out).
+
+        ``max_attempts`` bounds the number of candidate-generation attempts
+        (walks); ``None`` keeps trying until the samples are collected or the
+        interface's query budget is exhausted.
+        """
+        if n_samples < 0:
+            raise SamplingError("n_samples must be non-negative")
+        samples: list[SampleRecord] = []
+        attempts = 0
+        while len(samples) < n_samples:
+            if max_attempts is not None and attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                candidate = self.draw_candidate()
+            except QueryBudgetExceededError:
+                break
+            if candidate is None:
+                continue
+            probability = self.acceptance_probability(candidate)
+            if self.rng.random() < probability:
+                samples.append(self._record(candidate, probability))
+            else:
+                self.report.candidates_rejected += 1
+        return samples
+
+    def iter_samples(self, max_attempts: int | None = None) -> Iterator[SampleRecord]:
+        """Yield accepted samples indefinitely (until budget or attempt limit).
+
+        This is the incremental mode the HDSampler session uses: the output
+        module consumes samples one at a time and the analyst can stop at any
+        point (the kill switch).
+        """
+        attempts = 0
+        while max_attempts is None or attempts < max_attempts:
+            attempts += 1
+            try:
+                candidate = self.draw_candidate()
+            except QueryBudgetExceededError:
+                return
+            if candidate is None:
+                continue
+            probability = self.acceptance_probability(candidate)
+            if self.rng.random() < probability:
+                yield self._record(candidate, probability)
+            else:
+                self.report.candidates_rejected += 1
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _record(self, candidate: Candidate, acceptance_probability: float) -> SampleRecord:
+        self.report.samples_accepted += 1
+        return SampleRecord(
+            tuple_id=candidate.tuple_id,
+            values=dict(candidate.values),
+            selectable_values=dict(candidate.selectable_values),
+            selection_probability=candidate.selection_probability,
+            acceptance_probability=acceptance_probability,
+            queries_spent=candidate.trace.queries_issued,
+            source=candidate.source,
+        )
+
+    def _submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        """Issue a query through the interface, updating the run report."""
+        response = self.database.submit(query)
+        self.report.queries_issued += 1
+        return response

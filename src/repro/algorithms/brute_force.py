@@ -1,0 +1,80 @@
+"""BRUTE-FORCE-SAMPLER: the provably uniform, impractically slow baseline.
+
+The paper validates HDSampler's histograms against "a long run of the Brute
+Force Sampler … which is proved to produce uniform random samples.  However,
+BRUTE-FORCE-SAMPLER is extremely slow and thus cannot be used in practice"
+(Section 3.4).
+
+The algorithm: draw a *fully-specified* query uniformly at random — one value
+for every attribute, i.e. a uniformly random leaf of the query tree — and
+submit it.  Almost always the leaf is empty (most value combinations have no
+listing), which is exactly why the sampler is slow; when it is non-empty with
+``s`` returned tuples, accept the page with probability ``s / k`` and then
+pick one of its tuples uniformly.  Every tuple of the database then has the
+same probability of being emitted per attempt, ``1 / (L * k)`` with ``L`` the
+number of leaves, so the output is exactly uniform — no acceptance–rejection
+correction of selection probabilities is needed beyond the ``s / k`` page
+acceptance.
+
+The only caveat is a fully-specified query that *still* overflows (more than
+``k`` tuples share every searchable value); the tuples beyond the displayed
+page are unreachable through the interface for any sampler, and this one
+samples among the displayed ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.base import Candidate, HiddenSampler, WalkStep, WalkTrace
+from repro.database.interface import HiddenDatabase
+from repro.database.query import ConjunctiveQuery
+
+
+class BruteForceSampler(HiddenSampler):
+    """Uniform random sampling by probing uniformly random leaves of the query tree."""
+
+    name = "brute-force-sampler"
+
+    def __init__(self, database: HiddenDatabase, seed: int | random.Random | None = None) -> None:
+        super().__init__(database, seed=seed)
+
+    def draw_candidate(self) -> Candidate | None:
+        """Probe one uniformly random fully-specified query."""
+        schema = self.database.schema
+        assignment = {
+            attribute.name: self.rng.choice(attribute.domain.values) for attribute in schema
+        }
+        query = ConjunctiveQuery.from_assignment(schema, assignment)
+        response = self._submit(query)
+        step = WalkStep(
+            query=query,
+            overflow=response.overflow,
+            returned_count=len(response.tuples),
+            reported_count=response.reported_count,
+        )
+        trace = WalkTrace(steps=(step,), attribute_order=schema.attribute_names)
+        if response.empty:
+            self.report.failed_walks += 1
+            return None
+
+        leaves = schema.total_combinations()
+        selection_probability = (1.0 / leaves) / len(response.tuples)
+        returned = self.rng.choice(response.tuples)
+        self.report.candidates_generated += 1
+        return Candidate.from_returned_tuple(
+            returned,
+            selection_probability=selection_probability,
+            trace=trace,
+            source=self.name,
+        )
+
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        """Accept a page of ``s`` tuples with probability ``s / k``.
+
+        Combined with the uniform pick among the ``s`` displayed tuples this
+        gives every database tuple the same per-attempt emission probability,
+        which is what makes the sampler exactly uniform.
+        """
+        returned_count = candidate.trace.steps[-1].returned_count
+        return min(1.0, returned_count / float(self.database.k))

@@ -1,0 +1,151 @@
+"""HIDDEN-DB-SAMPLER: random drill-down sampling of a hidden database.
+
+The algorithm (paper Section 2; Dasgupta, Das & Mannila, SIGMOD 2007):
+
+1. pick an attribute order for this walk (fixed or re-randomised per walk);
+2. starting from a very broad query, repeatedly add a predicate
+   ``attribute = value`` with the value chosen uniformly at random from the
+   attribute's domain, submitting the query after each extension;
+3. if the query *overflows*, keep drilling; if it returns between 1 and ``k``
+   tuples (a *valid* query), pick one returned tuple uniformly at random as a
+   candidate; if it returns nothing, the walk failed — restart;
+4. pass the candidate to acceptance–rejection
+   (:mod:`repro.algorithms.acceptance_rejection`), which divides out the
+   selection bias toward shallow, small result pages.
+
+The walk never enumerates result pages beyond the single query answer it just
+received, and never relies on the ranking function being anything but
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algorithms.acceptance_rejection import AcceptancePolicy, ScaledAcceptancePolicy, scale_for_tradeoff
+from repro.algorithms.base import Candidate, HiddenSampler, WalkStep, WalkTrace
+from repro.algorithms.ordering import AttributeOrdering, RandomOrdering
+from repro.database.interface import HiddenDatabase
+from repro.database.query import ConjunctiveQuery
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RandomWalkConfig:
+    """Tunable knobs of HIDDEN-DB-SAMPLER.
+
+    ``efficiency`` is the slider position in ``[0, 1]`` used when no explicit
+    ``acceptance_policy`` is given: 0 means lowest skew (and lowest
+    acceptance), 1 means highest efficiency (keep every candidate).
+    ``probe_root`` controls whether the completely unrestricted query is also
+    issued at the start of each walk; real deployments skip it because it
+    always overflows on any non-trivial database, but Figure 1-scale examples
+    are clearer with it on.
+    """
+
+    efficiency: float = 0.5
+    probe_root: bool = False
+    max_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be between 0 and 1")
+        if self.max_depth is not None and self.max_depth <= 0:
+            raise ConfigurationError("max_depth must be positive when given")
+
+
+class RandomWalkSampler(HiddenSampler):
+    """The HIDDEN-DB-SAMPLER random-walk sampler."""
+
+    name = "hidden-db-sampler"
+
+    def __init__(
+        self,
+        database: HiddenDatabase,
+        config: RandomWalkConfig | None = None,
+        ordering: AttributeOrdering | None = None,
+        acceptance_policy: AcceptancePolicy | None = None,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        super().__init__(database, seed=seed)
+        self.config = config or RandomWalkConfig()
+        self.ordering = ordering or RandomOrdering()
+        if acceptance_policy is None:
+            scale = scale_for_tradeoff(database.schema, database.k, self.config.efficiency)
+            acceptance_policy = ScaledAcceptancePolicy(scale)
+        self.acceptance_policy = acceptance_policy
+
+    # -- HiddenSampler interface -----------------------------------------------
+
+    def acceptance_probability(self, candidate: Candidate) -> float:
+        """Delegate to the configured acceptance–rejection policy."""
+        return self.acceptance_policy.acceptance_probability(candidate)
+
+    def draw_candidate(self) -> Candidate | None:
+        """Run one random drill-down walk; ``None`` when it dead-ends."""
+        schema = self.database.schema
+        order = self.ordering.order_for_walk(schema, self.rng)
+        max_depth = self.config.max_depth or len(order)
+
+        steps: list[WalkStep] = []
+        query = ConjunctiveQuery.empty(schema)
+        choice_probability = 1.0
+
+        if self.config.probe_root:
+            response = self._submit(query)
+            steps.append(_step(response))
+            if response.empty:
+                self.report.failed_walks += 1
+                return None
+            if response.valid:
+                return self._candidate_from_response(response, choice_probability, steps, order)
+
+        response = None
+        for attribute_name in order[:max_depth]:
+            attribute = schema.attribute(attribute_name)
+            value = self.rng.choice(attribute.domain.values)
+            choice_probability /= attribute.cardinality
+            query = query.specialise(attribute_name, value)
+
+            response = self._submit(query)
+            steps.append(_step(response))
+
+            if response.empty:
+                self.report.failed_walks += 1
+                return None
+            if response.valid:
+                return self._candidate_from_response(response, choice_probability, steps, order)
+            # Overflow: keep drilling down.
+
+        # Every attribute is constrained (or max_depth hit) and the query still
+        # overflows: only the displayed page is reachable.  Sample from it so
+        # the walk is not wasted; the selection probability reflects the page
+        # size, and the residual unreachability is inherent to top-k interfaces.
+        if response is None or response.empty:
+            self.report.failed_walks += 1
+            return None
+        return self._candidate_from_response(response, choice_probability, steps, order)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _candidate_from_response(self, response, choice_probability: float, steps, order) -> Candidate:
+        returned = self.rng.choice(response.tuples)
+        selection_probability = choice_probability / len(response.tuples)
+        trace = WalkTrace(steps=tuple(steps), attribute_order=tuple(order))
+        self.report.candidates_generated += 1
+        return Candidate.from_returned_tuple(
+            returned,
+            selection_probability=selection_probability,
+            trace=trace,
+            source=self.name,
+        )
+
+
+def _step(response) -> WalkStep:
+    return WalkStep(
+        query=response.query,
+        overflow=response.overflow,
+        returned_count=len(response.tuples),
+        reported_count=response.reported_count,
+    )

@@ -1,0 +1,58 @@
+"""Estimators, error metrics and plain-text reporting.
+
+This subpackage holds everything downstream of the sample set:
+
+* :mod:`~repro.analytics.histogram` — marginal histograms from samples or full
+  tables (the paper's Figure 4 artefact);
+* :mod:`~repro.analytics.aggregates` — approximate COUNT / SUM / AVG with
+  normal-approximation confidence intervals;
+* :mod:`~repro.analytics.skew` — distance metrics between sampled and true
+  marginals (total variation, KL divergence, chi-square) and the dispersion of
+  inclusion probabilities;
+* :mod:`~repro.analytics.efficiency` — query-cost accounting (queries per
+  sample, cost curves);
+* :mod:`~repro.analytics.comparison` — side-by-side sampled-vs-truth tables;
+* :mod:`~repro.analytics.report` — plain-text tables and bar charts used by the
+  CLI front end, the examples and every benchmark.
+"""
+
+from repro.analytics.histogram import Histogram, histogram_from_samples, histogram_from_table
+from repro.analytics.aggregates import (
+    AggregateEstimate,
+    estimate_average,
+    estimate_count,
+    estimate_proportion,
+    estimate_sum,
+)
+from repro.analytics.skew import (
+    chi_square_statistic,
+    inclusion_probability_dispersion,
+    kl_divergence,
+    marginal_distance_report,
+    total_variation_distance,
+)
+from repro.analytics.efficiency import EfficiencySummary, efficiency_summary
+from repro.analytics.comparison import MarginalComparison, compare_marginals
+from repro.analytics.report import render_histogram, render_table
+
+__all__ = [
+    "AggregateEstimate",
+    "EfficiencySummary",
+    "Histogram",
+    "MarginalComparison",
+    "chi_square_statistic",
+    "compare_marginals",
+    "efficiency_summary",
+    "estimate_average",
+    "estimate_count",
+    "estimate_proportion",
+    "estimate_sum",
+    "histogram_from_samples",
+    "histogram_from_table",
+    "inclusion_probability_dispersion",
+    "kl_divergence",
+    "marginal_distance_report",
+    "render_histogram",
+    "render_table",
+    "total_variation_distance",
+]

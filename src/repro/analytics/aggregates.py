@@ -1,0 +1,233 @@
+"""Approximate aggregate queries (COUNT, SUM, AVG) from random samples.
+
+The paper motivates sampling with exactly these questions: "if one wants to
+learn the percentage of Japanese cars in the dealer's inventory, a very small
+number of uniform random samples of the underlying database can provide a
+quite accurate answer."
+
+All estimators assume the sample set is (approximately) a uniform independent
+sample of the hidden table, which is what HDSampler produces when the slider
+sits toward the low-skew end.  Confidence intervals use the normal
+approximation; they quantify sampling error only, not residual skew.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.exceptions import SamplingError
+
+SamplePredicate = Callable[[SampleRecord], bool]
+
+#: Two-sided z-scores for the confidence levels the library exposes.
+_Z_SCORES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.98: 2.3263, 0.99: 2.5758}
+
+
+def _z_for_confidence(confidence: float) -> float:
+    """The z-score of a two-sided normal interval at ``confidence``."""
+    if not 0.0 < confidence < 1.0:
+        raise SamplingError("confidence must be strictly between 0 and 1")
+    if confidence in _Z_SCORES:
+        return _Z_SCORES[confidence]
+    # Linear interpolation between known levels; adequate for reporting.
+    levels = sorted(_Z_SCORES)
+    if confidence <= levels[0]:
+        return _Z_SCORES[levels[0]]
+    if confidence >= levels[-1]:
+        return _Z_SCORES[levels[-1]]
+    for low, high in zip(levels, levels[1:]):
+        if low <= confidence <= high:
+            weight = (confidence - low) / (high - low)
+            return _Z_SCORES[low] + weight * (_Z_SCORES[high] - _Z_SCORES[low])
+    return 1.9600
+
+
+@dataclass(frozen=True)
+class AggregateEstimate:
+    """The answer to one approximate aggregate query."""
+
+    kind: str
+    value: float
+    stderr: float
+    confidence: float
+    ci_low: float
+    ci_high: float
+    n_samples: int
+    n_matching: int
+    relative: bool
+    """True when the value is a fraction of the population (unknown size)."""
+
+    def __str__(self) -> str:
+        unit = " (fraction of database)" if self.relative else ""
+        return (
+            f"{self.kind.upper()} ≈ {self.value:.4g}{unit} "
+            f"[{self.ci_low:.4g}, {self.ci_high:.4g}] at {self.confidence:.0%} "
+            f"from {self.n_samples} samples"
+        )
+
+
+def estimate_proportion(
+    samples: Sequence[SampleRecord],
+    predicate: SamplePredicate,
+    confidence: float = 0.95,
+) -> AggregateEstimate:
+    """Estimate the fraction of the hidden database satisfying ``predicate``."""
+    n = len(samples)
+    if n == 0:
+        raise SamplingError("cannot estimate from an empty sample set")
+    matching = sum(1 for sample in samples if predicate(sample))
+    proportion = matching / n
+    stderr = math.sqrt(max(proportion * (1.0 - proportion), 0.0) / n)
+    z = _z_for_confidence(confidence)
+    return AggregateEstimate(
+        kind="proportion",
+        value=proportion,
+        stderr=stderr,
+        confidence=confidence,
+        ci_low=max(0.0, proportion - z * stderr),
+        ci_high=min(1.0, proportion + z * stderr),
+        n_samples=n,
+        n_matching=matching,
+        relative=True,
+    )
+
+
+def estimate_count(
+    samples: Sequence[SampleRecord],
+    predicate: SamplePredicate,
+    population_size: int | None = None,
+    confidence: float = 0.95,
+) -> AggregateEstimate:
+    """Estimate COUNT(*) of the tuples satisfying ``predicate``.
+
+    When ``population_size`` is unknown the estimate stays a fraction of the
+    database (``relative=True``); otherwise it is scaled to an absolute count.
+    """
+    proportion = estimate_proportion(samples, predicate, confidence)
+    if population_size is None:
+        return AggregateEstimate(
+            kind="count",
+            value=proportion.value,
+            stderr=proportion.stderr,
+            confidence=confidence,
+            ci_low=proportion.ci_low,
+            ci_high=proportion.ci_high,
+            n_samples=proportion.n_samples,
+            n_matching=proportion.n_matching,
+            relative=True,
+        )
+    scale = float(population_size)
+    return AggregateEstimate(
+        kind="count",
+        value=proportion.value * scale,
+        stderr=proportion.stderr * scale,
+        confidence=confidence,
+        ci_low=proportion.ci_low * scale,
+        ci_high=proportion.ci_high * scale,
+        n_samples=proportion.n_samples,
+        n_matching=proportion.n_matching,
+        relative=False,
+    )
+
+
+def estimate_average(
+    samples: Sequence[SampleRecord],
+    measure_attribute: str,
+    predicate: SamplePredicate | None = None,
+    confidence: float = 0.95,
+) -> AggregateEstimate:
+    """Estimate AVG(``measure_attribute``) over the tuples satisfying ``predicate``."""
+    predicate = predicate or (lambda sample: True)
+    values = [
+        float(sample.values[measure_attribute])  # type: ignore[arg-type]
+        for sample in samples
+        if predicate(sample) and measure_attribute in sample.values
+    ]
+    n = len(samples)
+    if n == 0:
+        raise SamplingError("cannot estimate from an empty sample set")
+    if not values:
+        raise SamplingError(
+            f"no sample satisfies the condition, cannot estimate AVG({measure_attribute})"
+        )
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    else:
+        variance = 0.0
+    stderr = math.sqrt(variance / len(values))
+    z = _z_for_confidence(confidence)
+    return AggregateEstimate(
+        kind="avg",
+        value=mean,
+        stderr=stderr,
+        confidence=confidence,
+        ci_low=mean - z * stderr,
+        ci_high=mean + z * stderr,
+        n_samples=n,
+        n_matching=len(values),
+        relative=False,
+    )
+
+
+def estimate_sum(
+    samples: Sequence[SampleRecord],
+    measure_attribute: str,
+    predicate: SamplePredicate | None = None,
+    population_size: int | None = None,
+    confidence: float = 0.95,
+) -> AggregateEstimate:
+    """Estimate SUM(``measure_attribute``) over the tuples satisfying ``predicate``.
+
+    The estimator is ``population_size * mean(contribution)`` where the
+    contribution of a sample is its measure value when it satisfies the
+    predicate and 0 otherwise.  Without a known population size the result is
+    the mean contribution (``relative=True``), i.e. SUM divided by the table
+    size, which still supports comparisons between sub-populations.
+    """
+    predicate = predicate or (lambda sample: True)
+    n = len(samples)
+    if n == 0:
+        raise SamplingError("cannot estimate from an empty sample set")
+    contributions = []
+    matching = 0
+    for sample in samples:
+        if predicate(sample) and measure_attribute in sample.values:
+            contributions.append(float(sample.values[measure_attribute]))  # type: ignore[arg-type]
+            matching += 1
+        else:
+            contributions.append(0.0)
+    mean = sum(contributions) / n
+    if n > 1:
+        variance = sum((value - mean) ** 2 for value in contributions) / (n - 1)
+    else:
+        variance = 0.0
+    stderr = math.sqrt(variance / n)
+    z = _z_for_confidence(confidence)
+    if population_size is None:
+        return AggregateEstimate(
+            kind="sum",
+            value=mean,
+            stderr=stderr,
+            confidence=confidence,
+            ci_low=mean - z * stderr,
+            ci_high=mean + z * stderr,
+            n_samples=n,
+            n_matching=matching,
+            relative=True,
+        )
+    scale = float(population_size)
+    return AggregateEstimate(
+        kind="sum",
+        value=mean * scale,
+        stderr=stderr * scale,
+        confidence=confidence,
+        ci_low=(mean - z * stderr) * scale,
+        ci_high=(mean + z * stderr) * scale,
+        n_samples=n,
+        n_matching=matching,
+        relative=False,
+    )

@@ -1,0 +1,83 @@
+"""Efficiency accounting: how many queries a sample costs.
+
+Efficiency is the second axis of the paper's evaluation (and of its slider).
+The natural unit is *interface queries per accepted sample*, because queries
+are the scarce resource — sites rate-limit them per IP and every query costs
+a round trip.  These helpers condense sampler reports and sample sets into
+the numbers the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.base import SampleRecord, SamplerReport
+
+
+@dataclass(frozen=True)
+class EfficiencySummary:
+    """Query-cost summary of one sampling run."""
+
+    samples: int
+    queries_issued: int
+    queries_per_sample: float
+    acceptance_rate: float
+    failed_walk_rate: float
+    mean_walk_depth: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "samples": self.samples,
+            "queries_issued": self.queries_issued,
+            "queries_per_sample": self.queries_per_sample,
+            "acceptance_rate": self.acceptance_rate,
+            "failed_walk_rate": self.failed_walk_rate,
+            "mean_walk_depth": self.mean_walk_depth,
+        }
+
+
+def efficiency_summary(
+    report: SamplerReport,
+    samples: Sequence[SampleRecord],
+    queries_issued: int | None = None,
+) -> EfficiencySummary:
+    """Summarise a run from its sampler report and accepted samples.
+
+    ``queries_issued`` overrides the report's own count when the history cache
+    answered part of the submissions locally (the cache's "issued to
+    interface" number is the honest cost).
+    """
+    issued = report.queries_issued if queries_issued is None else queries_issued
+    n_samples = len(samples)
+    attempts = report.candidates_generated + report.failed_walks
+    failed_rate = report.failed_walks / attempts if attempts else 0.0
+    queries_per_sample = issued / n_samples if n_samples else float("inf") if issued else 0.0
+    mean_depth = (
+        sum(_depth_proxy(sample) for sample in samples) / n_samples if n_samples else 0.0
+    )
+    return EfficiencySummary(
+        samples=n_samples,
+        queries_issued=issued,
+        queries_per_sample=queries_per_sample,
+        acceptance_rate=report.acceptance_rate,
+        failed_walk_rate=failed_rate,
+        mean_walk_depth=mean_depth,
+    )
+
+
+def _depth_proxy(sample: SampleRecord) -> float:
+    """Queries the sample's own walk spent (a proxy for its depth)."""
+    return float(sample.queries_spent)
+
+
+def queries_for_target_samples(
+    queries_per_sample: float, target_samples: int
+) -> int:
+    """Project how many queries a target sample count will cost at this rate."""
+    if target_samples < 0:
+        raise ValueError("target_samples must be non-negative")
+    if queries_per_sample == float("inf"):
+        raise ValueError("cannot project cost from an infinite queries-per-sample rate")
+    return int(round(queries_per_sample * target_samples))

@@ -1,0 +1,92 @@
+"""Exporting samples and histograms to CSV / JSON.
+
+The demo shows its results in a browser; downstream users of the library more
+often want to hand the sample set to pandas, a notebook or another tool.
+These helpers write the accepted samples and the marginal histograms in plain
+formats using only the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.histogram import Histogram
+
+
+def samples_to_csv(samples: Sequence[SampleRecord], attributes: Sequence[str] | None = None) -> str:
+    """Render the sample set as CSV text (one row per accepted sample).
+
+    ``attributes`` selects and orders the value columns; by default the union
+    of attributes seen across the samples is used, in first-seen order.  The
+    sampling metadata (tuple id, selection/acceptance probabilities, query
+    cost, source algorithm) is always included.
+    """
+    if attributes is None:
+        seen: dict[str, None] = {}
+        for sample in samples:
+            for name in sample.selectable_values:
+                seen.setdefault(name, None)
+        attributes = tuple(seen)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["tuple_id", *attributes, "selection_probability", "acceptance_probability",
+         "queries_spent", "source"]
+    )
+    for sample in samples:
+        writer.writerow(
+            [
+                sample.tuple_id,
+                *[sample.selectable_values.get(name, "") for name in attributes],
+                repr(sample.selection_probability),
+                repr(sample.acceptance_probability),
+                sample.queries_spent,
+                sample.source,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def samples_to_json(samples: Sequence[SampleRecord]) -> str:
+    """Render the sample set as a JSON array of objects."""
+    payload = [
+        {
+            "tuple_id": sample.tuple_id,
+            "values": dict(sample.values),
+            "selectable_values": dict(sample.selectable_values),
+            "selection_probability": sample.selection_probability,
+            "acceptance_probability": sample.acceptance_probability,
+            "queries_spent": sample.queries_spent,
+            "source": sample.source,
+        }
+        for sample in samples
+    ]
+    return json.dumps(payload, indent=2, default=str)
+
+
+def histogram_to_csv(histogram: Histogram) -> str:
+    """Render one histogram as CSV with value, count and proportion columns."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["value", "count", "proportion"])
+    proportions = histogram.proportions()
+    for value, count in histogram.counts.items():
+        writer.writerow([value, count, repr(proportions[value])])
+    return buffer.getvalue()
+
+
+def histograms_to_json(histograms: dict[str, Histogram]) -> str:
+    """Render a set of histograms (keyed by attribute) as JSON."""
+    payload = {
+        attribute: {
+            "total": histogram.total,
+            "counts": {str(value): count for value, count in histogram.counts.items()},
+            "proportions": {str(value): share for value, share in histogram.proportions().items()},
+        }
+        for attribute, histogram in histograms.items()
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,131 @@
+"""Marginal histograms: the artefact the HDSampler demo shows its users.
+
+A :class:`Histogram` counts occurrences of selectable values of one attribute.
+It can be filled incrementally (one accepted sample at a time, as the output
+module does), from a finished sample set, or from a full table (the ground
+truth the paper validates against).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.database.schema import Value
+from repro.database.table import Table
+
+
+class Histogram:
+    """Counts of selectable values of one attribute.
+
+    When ``categories`` are given at construction, those values are always
+    present in the histogram (with zero counts until observed) and keep their
+    order, which makes side-by-side comparisons and rendering stable.
+    """
+
+    def __init__(self, attribute: str, categories: Sequence[Value] | None = None) -> None:
+        self.attribute = attribute
+        self._counts: dict[Value, int] = {}
+        if categories is not None:
+            for category in categories:
+                self._counts[category] = 0
+        self.total = 0
+
+    # -- filling ---------------------------------------------------------------------
+
+    def add(self, value: Value, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[value] = self._counts.get(value, 0) + count
+        self.total += count
+
+    def update(self, values: Iterable[Value]) -> None:
+        """Record one observation for each element of ``values``."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram combining the counts of ``self`` and ``other``."""
+        if other.attribute != self.attribute:
+            raise ValueError(
+                f"cannot merge histograms of different attributes "
+                f"({self.attribute!r} vs {other.attribute!r})"
+            )
+        merged = Histogram(self.attribute, categories=tuple(self._counts))
+        for value, count in self._counts.items():
+            merged.add(value, count)
+        for value, count in other._counts.items():
+            merged.add(value, count)
+        return merged
+
+    # -- reading ----------------------------------------------------------------------
+
+    @property
+    def counts(self) -> dict[Value, int]:
+        """Raw counts keyed by value (insertion/category order preserved)."""
+        return dict(self._counts)
+
+    def count(self, value: Value) -> int:
+        """Observations of ``value`` (0 if never seen)."""
+        return self._counts.get(value, 0)
+
+    def proportions(self) -> dict[Value, float]:
+        """Counts normalised to fractions of the total (all zero when empty)."""
+        if self.total == 0:
+            return {value: 0.0 for value in self._counts}
+        return {value: count / self.total for value, count in self._counts.items()}
+
+    def proportion(self, value: Value) -> float:
+        """Fraction of observations equal to ``value``."""
+        if self.total == 0:
+            return 0.0
+        return self.count(value) / self.total
+
+    def most_common(self, n: int | None = None) -> list[tuple[Value, int]]:
+        """Values sorted by descending count (ties keep category order)."""
+        ordered = sorted(self._counts.items(), key=lambda item: -item[1])
+        return ordered if n is None else ordered[:n]
+
+    def values(self) -> tuple[Value, ...]:
+        """All known values, in category/insertion order."""
+        return tuple(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.attribute == other.attribute and self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(attribute={self.attribute!r}, total={self.total}, bins={len(self)})"
+
+
+def histogram_from_samples(samples: Sequence[SampleRecord], attribute: str) -> Histogram:
+    """Build the sampled marginal histogram of ``attribute`` from a sample set."""
+    histogram = Histogram(attribute)
+    for sample in samples:
+        value = sample.selectable_values.get(attribute)
+        if value is not None:
+            histogram.add(value)
+    return histogram
+
+
+def histogram_from_table(table: Table, attribute: str) -> Histogram:
+    """Build the exact (ground-truth) marginal histogram of ``attribute``."""
+    histogram = Histogram(attribute, categories=table.schema.attribute(attribute).domain.values)
+    for value, count in table.value_counts(attribute).items():
+        if count:
+            histogram.add(value, count)
+    return histogram
+
+
+def histogram_from_counts(attribute: str, counts: Mapping[Value, int]) -> Histogram:
+    """Build a histogram directly from a value → count mapping."""
+    histogram = Histogram(attribute, categories=tuple(counts))
+    for value, count in counts.items():
+        if count:
+            histogram.add(value, count)
+    return histogram

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and histograms.
+
+The demo's front end shows live histograms and tables in a browser; the
+reproduction renders the same information as monospace text so the CLI, the
+examples and every benchmark can print it without a display server.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analytics.histogram import Histogram
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]], padding: int = 2) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    gap = " " * padding
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = []
+        for index, cell in enumerate(cells):
+            width = widths[index] if index < len(widths) else len(cell)
+            padded.append(str(cell).ljust(width))
+        return gap.join(padded).rstrip()
+
+    lines = [format_row(list(headers))]
+    lines.append(gap.join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_histogram(histogram: Histogram, width: int = 40, show_counts: bool = True) -> str:
+    """Render a histogram as a horizontal bar chart (the Figure 4 look, in text)."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    proportions = histogram.proportions()
+    if not proportions:
+        return f"{histogram.attribute}: (no values)"
+    label_width = max(len(str(value)) for value in proportions)
+    peak = max(proportions.values()) or 1.0
+    lines = [f"{histogram.attribute} ({histogram.total} samples)"]
+    for value, proportion in proportions.items():
+        bar_length = int(round(width * proportion / peak)) if peak > 0 else 0
+        bar = "#" * bar_length
+        suffix = f" {proportion:6.1%}"
+        if show_counts:
+            suffix += f" ({histogram.count(value)})"
+        lines.append(f"  {str(value).ljust(label_width)} |{bar.ljust(width)}|{suffix}")
+    return "\n".join(lines)
+
+
+def render_key_values(pairs: Iterable[tuple[str, object]]) -> str:
+    """Render ``key: value`` pairs with aligned keys (benchmark footers)."""
+    materialised = [(str(key), str(value)) for key, value in pairs]
+    if not materialised:
+        return ""
+    key_width = max(len(key) for key, _ in materialised)
+    return "\n".join(f"{key.ljust(key_width)} : {value}" for key, value in materialised)
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly, handling infinities the way reports expect."""
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return f"{value:.{digits}f}"

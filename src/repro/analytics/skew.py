@@ -1,0 +1,123 @@
+"""Skew metrics: how far a sample set is from a uniform random sample.
+
+The paper evaluates HDSampler "in terms of accuracy of estimating marginal
+distribution and efficiency of drawing random samples".  Accuracy is measured
+here by comparing the sampled marginal of each attribute against the ground
+truth available for the locally simulated database, using standard
+distribution distances:
+
+* total variation distance — half the L1 distance between the distributions,
+  the headline number of the marginal benchmarks (0 = identical, 1 = disjoint);
+* Kullback–Leibler divergence (smoothed) — penalises missing rare values;
+* Pearson chi-square statistic — the classical goodness-of-fit measure.
+
+The *cause* of marginal error is skew in per-tuple inclusion probabilities,
+so :func:`inclusion_probability_dispersion` quantifies that directly from the
+samplers' probability bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.histogram import Histogram
+from repro.database.schema import Value
+from repro.exceptions import SamplingError
+
+
+def _aligned(
+    sampled: Mapping[Value, float], truth: Mapping[Value, float]
+) -> list[tuple[float, float]]:
+    """Pair up sampled and true probabilities over the union of values."""
+    keys = list(dict.fromkeys(list(truth.keys()) + list(sampled.keys())))
+    return [(float(sampled.get(key, 0.0)), float(truth.get(key, 0.0))) for key in keys]
+
+
+def total_variation_distance(
+    sampled: Mapping[Value, float], truth: Mapping[Value, float]
+) -> float:
+    """Total variation distance between two distributions over the same values."""
+    pairs = _aligned(sampled, truth)
+    return 0.5 * sum(abs(p - q) for p, q in pairs)
+
+
+def kl_divergence(
+    sampled: Mapping[Value, float],
+    truth: Mapping[Value, float],
+    smoothing: float = 1e-9,
+) -> float:
+    """KL(truth ‖ sampled) with additive smoothing to keep it finite.
+
+    The direction is chosen so the metric punishes the sampler for assigning
+    (near-)zero probability to values that actually occur in the database.
+    """
+    if smoothing <= 0:
+        raise SamplingError("smoothing must be positive")
+    pairs = _aligned(sampled, truth)
+    sampled_total = sum(p for p, _ in pairs) + smoothing * len(pairs)
+    truth_total = sum(q for _, q in pairs) + smoothing * len(pairs)
+    divergence = 0.0
+    for p, q in pairs:
+        p_smooth = (p + smoothing) / sampled_total
+        q_smooth = (q + smoothing) / truth_total
+        divergence += q_smooth * math.log(q_smooth / p_smooth)
+    return divergence
+
+
+def chi_square_statistic(
+    sampled_counts: Mapping[Value, int], truth: Mapping[Value, float]
+) -> float:
+    """Pearson chi-square of observed sample counts against expected proportions.
+
+    Values whose expected proportion is zero are skipped (they cannot occur in
+    a correct sample and contribute nothing to the statistic if absent).
+    """
+    total = sum(sampled_counts.values())
+    if total == 0:
+        return 0.0
+    statistic = 0.0
+    for value, expected_proportion in truth.items():
+        if expected_proportion <= 0:
+            continue
+        expected = expected_proportion * total
+        observed = sampled_counts.get(value, 0)
+        statistic += (observed - expected) ** 2 / expected
+    return statistic
+
+
+def histogram_total_variation(sampled: Histogram, truth: Histogram) -> float:
+    """Total variation distance between two histograms' proportions."""
+    return total_variation_distance(sampled.proportions(), truth.proportions())
+
+
+def inclusion_probability_dispersion(samples: Sequence[SampleRecord]) -> float:
+    """Coefficient of variation of the samples' selection probabilities.
+
+    A perfectly uniform sampler selects every tuple with the same probability,
+    so the dispersion is 0; the larger the value, the more the raw procedure
+    favours some tuples over others (before acceptance–rejection corrects it).
+    """
+    probabilities = [sample.selection_probability for sample in samples if sample.selection_probability > 0]
+    if len(probabilities) < 2:
+        return 0.0
+    mean = sum(probabilities) / len(probabilities)
+    if mean == 0:
+        return 0.0
+    variance = sum((p - mean) ** 2 for p in probabilities) / (len(probabilities) - 1)
+    return math.sqrt(variance) / mean
+
+
+def marginal_distance_report(
+    sampled_marginals: Mapping[str, Mapping[Value, float]],
+    true_marginals: Mapping[str, Mapping[Value, float]],
+) -> dict[str, float]:
+    """Total variation distance per attribute, plus the mean over attributes."""
+    distances: dict[str, float] = {}
+    for attribute, truth in true_marginals.items():
+        sampled = sampled_marginals.get(attribute, {})
+        distances[attribute] = total_variation_distance(sampled, truth)
+    if distances:
+        distances["__mean__"] = sum(distances.values()) / len(distances)
+    return distances

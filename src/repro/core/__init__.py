@@ -1,0 +1,51 @@
+"""The HDSampler system: the paper's primary contribution.
+
+The four modules of the paper's architecture (Figure 2) map onto:
+
+* front end → :class:`~repro.core.config.HDSamplerConfig` +
+  :class:`~repro.core.tradeoff.TradeoffSlider` (programmatic) and
+  :mod:`repro.frontend` (interactive);
+* Sample Generator → :class:`~repro.core.sample_generator.SampleGenerator`,
+  which drives a sampling algorithm through the
+  :class:`~repro.core.history.QueryHistoryCache` so no query is issued twice
+  and inferable answers are never issued at all;
+* Sample Processor → :class:`~repro.core.sample_processor.SampleProcessor`,
+  the acceptance–rejection stage controlled by the efficiency↔skew slider;
+* Output Module → :class:`~repro.core.output.OutputModule`, which accumulates
+  the final samples, maintains marginal histograms incrementally and answers
+  approximate aggregate queries.
+
+:class:`~repro.core.hdsampler.HDSampler` is the public facade wiring the four
+together, and :class:`~repro.core.session.SamplingSession` is the incremental
+pipeline with progress events and the kill switch.
+"""
+
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.tradeoff import TradeoffSlider
+from repro.core.scope import ScopedDatabase
+from repro.core.history import CachedResponseSource, HistoryStatistics, QueryHistoryCache
+from repro.core.sample_generator import SampleGenerator
+from repro.core.sample_processor import ProcessorStatistics, SampleProcessor
+from repro.core.output import AggregateEstimate, OutputModule
+from repro.core.session import ProgressEvent, SamplingSession, SessionState
+from repro.core.hdsampler import HDSampler, SamplingResult
+
+__all__ = [
+    "AggregateEstimate",
+    "CachedResponseSource",
+    "HDSampler",
+    "HDSamplerConfig",
+    "HistoryStatistics",
+    "OutputModule",
+    "ProcessorStatistics",
+    "ProgressEvent",
+    "QueryHistoryCache",
+    "SampleGenerator",
+    "SampleProcessor",
+    "SamplerAlgorithm",
+    "SamplingResult",
+    "SamplingSession",
+    "ScopedDatabase",
+    "SessionState",
+    "TradeoffSlider",
+]

@@ -1,0 +1,154 @@
+"""Configuration of an HDSampler run (the front end's settings page).
+
+:class:`HDSamplerConfig` gathers everything the paper's web front end lets an
+analyst set (Section 3.1, Figure 3): which attributes to sample over, fixed
+value bindings, the required number of samples, the efficiency↔skew slider,
+plus reproduction-specific knobs — which sampling algorithm to use, whether
+the query-history optimisation is enabled, an optional cap on walk attempts
+and the random seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.schema import Value
+from repro.exceptions import ConfigurationError
+
+
+class SamplerAlgorithm(enum.Enum):
+    """Which candidate-generation algorithm the Sample Generator runs."""
+
+    RANDOM_WALK = "random_walk"      #: HIDDEN-DB-SAMPLER (the paper's default)
+    COUNT_AIDED = "count_aided"      #: ICDE'09 count-leveraging drill-down
+    BRUTE_FORCE = "brute_force"      #: the uniform but slow validation baseline
+
+
+@dataclass(frozen=True)
+class HDSamplerConfig:
+    """Settings of one HDSampler run.
+
+    Parameters
+    ----------
+    n_samples:
+        The "required number of samples" the analyst asks for.
+    attributes:
+        Attributes to sample over; ``None`` means every searchable attribute
+        that is not fixed by a binding.
+    bindings:
+        Fixed ``attribute = value`` predicates ANDed onto every query, scoping
+        sampling to a sub-population (e.g. only ``condition = "used"``).
+    tradeoff:
+        The efficiency↔skew slider.
+    algorithm:
+        Candidate-generation algorithm.
+    use_history:
+        Enable the query-history cache and inference optimisation of [2]
+        (paper Section 3.2); on by default, exactly as in the system.
+    max_attempts:
+        Optional cap on candidate-generation attempts; ``None`` keeps going
+        until the samples are collected or the query budget runs out.
+    deduplicate:
+        When true, a tuple already accepted into the sample set is not added
+        twice (sampling without replacement at the output).  Off by default:
+        the estimators assume with-replacement sampling.
+    seed:
+        Random seed of the whole run (walks, value choices, acceptance coins).
+    """
+
+    n_samples: int = 100
+    attributes: tuple[str, ...] | None = None
+    bindings: Mapping[str, Value] = field(default_factory=dict)
+    tradeoff: TradeoffSlider = field(default_factory=TradeoffSlider)
+    algorithm: SamplerAlgorithm = SamplerAlgorithm.RANDOM_WALK
+    use_history: bool = True
+    max_attempts: int | None = None
+    deduplicate: bool = False
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples <= 0:
+            raise ConfigurationError("n_samples must be positive")
+        if self.attributes is not None and len(self.attributes) == 0:
+            raise ConfigurationError("attributes must be None (all) or a non-empty tuple")
+        if self.attributes is not None and len(set(self.attributes)) != len(self.attributes):
+            raise ConfigurationError("attributes must not contain duplicates")
+        if self.max_attempts is not None and self.max_attempts <= 0:
+            raise ConfigurationError("max_attempts must be positive when given")
+        overlap = set(self.attributes or ()) & set(self.bindings)
+        if overlap:
+            raise ConfigurationError(
+                f"attributes {sorted(overlap)} cannot be both selected and fixed by a binding"
+            )
+
+    # -- fluent updates (the front end mutating one setting at a time) --------------
+
+    def with_samples(self, n_samples: int) -> "HDSamplerConfig":
+        """A copy of this configuration with a different sample count."""
+        return self._replace(n_samples=n_samples)
+
+    def with_attributes(self, *attributes: str) -> "HDSamplerConfig":
+        """A copy restricted to the given attributes."""
+        return self._replace(attributes=tuple(attributes) if attributes else None)
+
+    def with_binding(self, attribute: str, value: Value) -> "HDSamplerConfig":
+        """A copy with one more fixed value binding."""
+        bindings = dict(self.bindings)
+        bindings[attribute] = value
+        return self._replace(bindings=bindings)
+
+    def without_binding(self, attribute: str) -> "HDSamplerConfig":
+        """A copy with the binding on ``attribute`` removed."""
+        bindings = {name: value for name, value in self.bindings.items() if name != attribute}
+        return self._replace(bindings=bindings)
+
+    def with_tradeoff(self, position: float) -> "HDSamplerConfig":
+        """A copy with the slider moved to ``position``."""
+        return self._replace(tradeoff=TradeoffSlider(position))
+
+    def with_algorithm(self, algorithm: SamplerAlgorithm | str) -> "HDSamplerConfig":
+        """A copy using a different candidate-generation algorithm."""
+        if isinstance(algorithm, str):
+            algorithm = SamplerAlgorithm(algorithm)
+        return self._replace(algorithm=algorithm)
+
+    def with_seed(self, seed: int | None) -> "HDSamplerConfig":
+        """A copy with a different random seed."""
+        return self._replace(seed=seed)
+
+    def _replace(self, **changes: object) -> "HDSamplerConfig":
+        current = {
+            "n_samples": self.n_samples,
+            "attributes": self.attributes,
+            "bindings": dict(self.bindings),
+            "tradeoff": self.tradeoff,
+            "algorithm": self.algorithm,
+            "use_history": self.use_history,
+            "max_attempts": self.max_attempts,
+            "deduplicate": self.deduplicate,
+            "seed": self.seed,
+        }
+        current.update(changes)
+        return HDSamplerConfig(**current)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Human-readable settings summary used by the front end."""
+        attribute_text = "all attributes" if self.attributes is None else ", ".join(self.attributes)
+        binding_text = (
+            "none"
+            if not self.bindings
+            else ", ".join(f"{name}={value!r}" for name, value in sorted(self.bindings.items()))
+        )
+        return "\n".join(
+            [
+                f"samples requested : {self.n_samples}",
+                f"attributes        : {attribute_text}",
+                f"value bindings    : {binding_text}",
+                f"tradeoff          : {self.tradeoff.describe()}",
+                f"algorithm         : {self.algorithm.value}",
+                f"query history     : {'enabled' if self.use_history else 'disabled'}",
+            ]
+        )

@@ -1,0 +1,197 @@
+"""The query-history optimisation of the Sample Generator (paper Section 3.2).
+
+"Following an optimization proposed in [2], this module also keeps track of
+the query history and results to ensure that the random query generation
+process accumulates savings by not issuing the same query twice, or queries
+whose results can be inferred from the query history."
+
+:class:`QueryHistoryCache` wraps any
+:class:`~repro.database.interface.HiddenDatabase` and intercepts submissions:
+
+* **exact hit** — a query with the same canonical predicate set was answered
+  before: replay the stored response, issue nothing;
+* **inference from a valid ancestor** — a previously-seen *valid*
+  (non-overflowing) query subsumes the new one; because the valid query
+  returned *all* of its matching tuples, the new query's answer is exactly the
+  subset of those tuples that satisfy the extra predicates — compute it
+  locally, issue nothing;
+* **inference of emptiness** — a previously-seen *empty* query subsumes the
+  new one, so the new one is empty too; issue nothing;
+* otherwise forward the query to the real interface and remember the answer.
+
+Savings are tracked in :class:`HistoryStatistics`, which benchmark E7 reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.database.interface import HiddenDatabase, InterfaceResponse, ReturnedTuple
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import Schema
+
+
+class CachedResponseSource(enum.Enum):
+    """Where the answer of the most recent submission came from."""
+
+    INTERFACE = "interface"    #: actually issued to the hidden database
+    EXACT_HIT = "exact_hit"    #: replayed verbatim from the cache
+    INFERRED = "inferred"      #: computed from a subsuming valid/empty query
+
+
+@dataclass
+class HistoryStatistics:
+    """Counters of how many interface queries the cache saved."""
+
+    submissions: int = 0
+    issued_to_interface: int = 0
+    exact_hits: int = 0
+    inferred: int = 0
+
+    @property
+    def saved(self) -> int:
+        """Queries the sampler asked for but never reached the interface."""
+        return self.exact_hits + self.inferred
+
+    @property
+    def saving_ratio(self) -> float:
+        """Fraction of submissions answered without touching the interface."""
+        if self.submissions == 0:
+            return 0.0
+        return self.saved / self.submissions
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "submissions": self.submissions,
+            "issued_to_interface": self.issued_to_interface,
+            "exact_hits": self.exact_hits,
+            "inferred": self.inferred,
+            "saved": self.saved,
+            "saving_ratio": self.saving_ratio,
+        }
+
+
+class QueryHistoryCache:
+    """A caching / inferring proxy in front of a hidden-database interface."""
+
+    def __init__(self, database: HiddenDatabase, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive when given")
+        self._database = database
+        self._max_entries = max_entries
+        self._responses: dict[tuple, InterfaceResponse] = {}
+        #: Canonical keys of valid (non-overflowing, non-empty) responses, the
+        #: only ones usable for subset inference.
+        self._valid_keys: list[tuple] = []
+        #: Canonical keys of empty responses, usable for emptiness inference.
+        self._empty_keys: list[tuple] = []
+        self.statistics = HistoryStatistics()
+        self.last_source: CachedResponseSource = CachedResponseSource.INTERFACE
+
+    # -- HiddenDatabase contract -----------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """Schema of the wrapped database."""
+        return self._database.schema
+
+    @property
+    def k(self) -> int:
+        """Top-``k`` limit of the wrapped database."""
+        return self._database.k
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        """Answer ``query`` from the cache if possible, else forward it."""
+        self.statistics.submissions += 1
+        key = query.canonical_key()
+
+        cached = self._responses.get(key)
+        if cached is not None:
+            self.statistics.exact_hits += 1
+            self.last_source = CachedResponseSource.EXACT_HIT
+            return cached
+
+        inferred = self._infer(query)
+        if inferred is not None:
+            self.statistics.inferred += 1
+            self.last_source = CachedResponseSource.INFERRED
+            self._remember(key, inferred)
+            return inferred
+
+        response = self._database.submit(query)
+        self.statistics.issued_to_interface += 1
+        self.last_source = CachedResponseSource.INTERFACE
+        self._remember(key, response)
+        return response
+
+    # -- inference ---------------------------------------------------------------------
+
+    def _infer(self, query: ConjunctiveQuery) -> InterfaceResponse | None:
+        # Emptiness: any cached empty query that subsumes this one proves this
+        # one is empty as well.
+        for empty_key in self._empty_keys:
+            cached = self._responses[empty_key]
+            if cached.query.subsumes(query):
+                return InterfaceResponse(
+                    query=query,
+                    tuples=(),
+                    overflow=False,
+                    reported_count=0 if cached.reported_count is not None else None,
+                    k=self.k,
+                )
+        # Subset inference: a cached valid query returned *all* of its matches,
+        # so a specialisation's answer is the filtered subset.
+        for valid_key in self._valid_keys:
+            cached = self._responses[valid_key]
+            if cached.query.subsumes(query):
+                tuples = tuple(t for t in cached.tuples if self._tuple_matches(query, t))
+                return InterfaceResponse(
+                    query=query,
+                    tuples=tuples,
+                    overflow=False,
+                    reported_count=len(tuples) if cached.reported_count is not None else None,
+                    k=self.k,
+                )
+        return None
+
+    @staticmethod
+    def _tuple_matches(query: ConjunctiveQuery, returned: ReturnedTuple) -> bool:
+        for predicate in query.predicates:
+            if returned.selectable_values.get(predicate.attribute) != predicate.value:
+                return False
+        return True
+
+    # -- cache maintenance ----------------------------------------------------------------
+
+    def _remember(self, key: tuple, response: InterfaceResponse) -> None:
+        if self._max_entries is not None and len(self._responses) >= self._max_entries:
+            self._evict_oldest()
+        self._responses[key] = response
+        if response.empty:
+            self._empty_keys.append(key)
+        elif not response.overflow:
+            self._valid_keys.append(key)
+
+    def _evict_oldest(self) -> None:
+        oldest_key = next(iter(self._responses))
+        del self._responses[oldest_key]
+        if oldest_key in self._valid_keys:
+            self._valid_keys.remove(oldest_key)
+        if oldest_key in self._empty_keys:
+            self._empty_keys.remove(oldest_key)
+
+    def clear(self) -> None:
+        """Forget every cached response (statistics are kept)."""
+        self._responses.clear()
+        self._valid_keys.clear()
+        self._empty_keys.clear()
+
+    def __len__(self) -> int:
+        return len(self._responses)
+
+    @property
+    def inner(self) -> HiddenDatabase:
+        """The wrapped database."""
+        return self._database

@@ -1,0 +1,164 @@
+"""The Output Module (paper Section 3.4).
+
+"The output module presents the end users with a set of these final samples.
+[...] HDSampler generates histograms on the marginal distributions of the
+attributes and their associated values.  [...] We provide an interface that
+allows users to pose aggregate queries (count, sum and average) on a
+combination of attributes."
+
+:class:`OutputModule` accumulates accepted samples incrementally, keeps one
+marginal histogram per selected attribute up to date after every accepted
+sample (the AJAX-style live updates of the demo), and answers approximate
+aggregate queries from the current sample set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.aggregates import AggregateEstimate, estimate_average, estimate_count, estimate_sum
+from repro.analytics.histogram import Histogram
+from repro.analytics.report import render_histogram, render_table
+from repro.database.schema import Schema, Value
+from repro.exceptions import ConfigurationError
+
+
+class OutputModule:
+    """Stores final samples and derives histograms and aggregate answers."""
+
+    def __init__(self, schema: Schema, population_size: int | None = None) -> None:
+        self.schema = schema
+        #: Known or estimated size of the hidden database, used to scale COUNT
+        #: and SUM estimates from sample fractions to absolute numbers.  The
+        #: paper's system leaves this unset for Google Base (counts are
+        #: untrusted) and reports relative histograms instead.
+        self.population_size = population_size
+        self._samples: list[SampleRecord] = []
+        self._histograms: dict[str, Histogram] = {
+            attribute.name: Histogram(attribute.name, categories=attribute.domain.values)
+            for attribute in schema
+        }
+
+    # -- incremental accumulation ------------------------------------------------------
+
+    def add(self, sample: SampleRecord) -> None:
+        """Add one accepted sample and update every marginal histogram."""
+        self._samples.append(sample)
+        for attribute in self.schema:
+            value = sample.selectable_values.get(attribute.name)
+            if value is not None:
+                self._histograms[attribute.name].add(value)
+
+    def extend(self, samples: Sequence[SampleRecord]) -> None:
+        """Add several accepted samples."""
+        for sample in samples:
+            self.add(sample)
+
+    # -- access -------------------------------------------------------------------------
+
+    @property
+    def samples(self) -> tuple[SampleRecord, ...]:
+        """The final sample set collected so far."""
+        return tuple(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def histogram(self, attribute_name: str) -> Histogram:
+        """The marginal histogram of ``attribute_name`` over the current samples."""
+        if attribute_name not in self._histograms:
+            raise ConfigurationError(
+                f"attribute {attribute_name!r} is not part of the sampled schema"
+            )
+        return self._histograms[attribute_name]
+
+    def histograms(self) -> dict[str, Histogram]:
+        """All marginal histograms, keyed by attribute name."""
+        return dict(self._histograms)
+
+    def marginal_distribution(self, attribute_name: str) -> dict[Value, float]:
+        """The sampled marginal distribution (proportions) of one attribute."""
+        return self.histogram(attribute_name).proportions()
+
+    # -- aggregate queries (count, sum, average) ------------------------------------------
+
+    def aggregate(
+        self,
+        kind: str,
+        measure_attribute: str | None = None,
+        condition: Mapping[str, Value] | None = None,
+        confidence: float = 0.95,
+    ) -> AggregateEstimate:
+        """Answer an approximate aggregate query from the sample set.
+
+        ``kind`` is ``"count"``, ``"sum"`` or ``"avg"``; ``condition`` is a
+        conjunction of ``attribute = selectable value`` filters evaluated on
+        the samples' selectable values (the same language the form speaks).
+        COUNT and SUM are reported as fractions of the population when
+        :attr:`population_size` is unknown, and scaled to absolute numbers
+        when it is known.
+        """
+        predicate = self._condition_predicate(condition)
+        kind_lower = kind.lower()
+        if kind_lower == "count":
+            return estimate_count(
+                self._samples,
+                predicate,
+                population_size=self.population_size,
+                confidence=confidence,
+            )
+        if kind_lower == "sum":
+            if measure_attribute is None:
+                raise ConfigurationError("SUM requires a measure attribute")
+            return estimate_sum(
+                self._samples,
+                measure_attribute,
+                predicate,
+                population_size=self.population_size,
+                confidence=confidence,
+            )
+        if kind_lower == "avg":
+            if measure_attribute is None:
+                raise ConfigurationError("AVG requires a measure attribute")
+            return estimate_average(
+                self._samples,
+                measure_attribute,
+                predicate,
+                confidence=confidence,
+            )
+        raise ConfigurationError(f"unsupported aggregate {kind!r}; expected count, sum or avg")
+
+    def _condition_predicate(
+        self, condition: Mapping[str, Value] | None
+    ) -> Callable[[SampleRecord], bool]:
+        if not condition:
+            return lambda sample: True
+        for name in condition:
+            self.schema.attribute(name)  # raises on unknown attributes
+
+        def predicate(sample: SampleRecord) -> bool:
+            for attribute_name, value in condition.items():
+                if sample.selectable_values.get(attribute_name) != value:
+                    return False
+            return True
+
+        return predicate
+
+    # -- presentation ---------------------------------------------------------------------
+
+    def render_histogram(self, attribute_name: str, width: int = 40) -> str:
+        """Plain-text bar chart of one attribute's sampled marginal (Figure 4 style)."""
+        return render_histogram(self.histogram(attribute_name), width=width)
+
+    def render_summary(self) -> str:
+        """Plain-text summary of the sample set: size and one line per attribute."""
+        rows = []
+        for attribute in self.schema:
+            histogram = self._histograms[attribute.name]
+            top = histogram.most_common(1)
+            top_text = f"{top[0][0]!r} ({top[0][1]})" if top else "-"
+            rows.append([attribute.name, str(histogram.total), top_text])
+        table = render_table(["attribute", "samples", "most common value"], rows)
+        return f"{len(self._samples)} samples collected\n{table}"

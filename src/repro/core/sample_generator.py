@@ -1,0 +1,103 @@
+"""The Sample Generator module (paper Section 3.2).
+
+"This module is responsible for generating and executing a sequence of random
+queries according to the HIDDEN-DB-SAMPLER algorithm. [...] this module also
+keeps track of the query history and results."
+
+:class:`SampleGenerator` assembles the access path (scoping adapter → history
+cache → raw interface), instantiates the configured sampling algorithm over
+it, and produces :class:`~repro.algorithms.base.Candidate` tuples one at a
+time for the Sample Processor.
+"""
+
+from __future__ import annotations
+
+from repro._rng import resolve_rng, spawn_rng
+from repro.algorithms.base import Candidate, HiddenSampler, SamplerReport
+from repro.algorithms.brute_force import BruteForceSampler
+from repro.algorithms.count_based import CountAidedSampler
+from repro.algorithms.ordering import RandomOrdering
+from repro.algorithms.random_walk import RandomWalkConfig, RandomWalkSampler
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.history import QueryHistoryCache
+from repro.core.scope import ScopedDatabase
+from repro.database.interface import HiddenDatabase
+from repro.exceptions import ConfigurationError, QueryBudgetExceededError
+
+
+class SampleGenerator:
+    """Generates candidate sample tuples from the hidden database."""
+
+    def __init__(self, database: HiddenDatabase, config: HDSamplerConfig) -> None:
+        self.config = config
+        rng = resolve_rng(config.seed)
+        self._rng = rng
+
+        # Access path: scope (attribute selection + bindings) first so the
+        # cache and the sampler reason in the analyst's restricted schema.
+        scoped: HiddenDatabase = ScopedDatabase(
+            database, attributes=config.attributes, bindings=config.bindings
+        )
+        self.history: QueryHistoryCache | None = None
+        if config.use_history:
+            self.history = QueryHistoryCache(scoped)
+            access: HiddenDatabase = self.history
+        else:
+            access = scoped
+        self.database = access
+        self.scoped = scoped
+
+        self.sampler = self._build_sampler(access, config, spawn_rng(rng, "sampler"))
+        self.budget_exhausted = False
+
+    # -- candidate generation --------------------------------------------------------
+
+    def next_candidate(self) -> Candidate | None:
+        """Attempt to generate one candidate; ``None`` on a failed attempt.
+
+        Once the interface's query budget is exhausted this keeps returning
+        ``None`` and sets :attr:`budget_exhausted`, so the session can stop
+        cleanly rather than crash mid-run.
+        """
+        if self.budget_exhausted:
+            return None
+        try:
+            return self.sampler.draw_candidate()
+        except QueryBudgetExceededError:
+            self.budget_exhausted = True
+            return None
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def report(self) -> SamplerReport:
+        """The underlying sampler's run report (queries, walks, candidates)."""
+        return self.sampler.report
+
+    def interface_queries_issued(self) -> int:
+        """Queries that actually reached the hidden database.
+
+        With the history cache enabled this is smaller than the sampler's own
+        count of submissions; the difference is the optimisation's saving.
+        """
+        if self.history is not None:
+            return self.history.statistics.issued_to_interface
+        return self.sampler.report.queries_issued
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _build_sampler(self, database: HiddenDatabase, config: HDSamplerConfig, seed) -> HiddenSampler:
+        if config.algorithm is SamplerAlgorithm.RANDOM_WALK:
+            walk_config = RandomWalkConfig(efficiency=config.tradeoff.position)
+            return RandomWalkSampler(
+                database,
+                config=walk_config,
+                ordering=RandomOrdering(),
+                acceptance_policy=config.tradeoff.acceptance_policy(database.schema, database.k),
+                seed=seed,
+            )
+        if config.algorithm is SamplerAlgorithm.COUNT_AIDED:
+            return CountAidedSampler(database, ordering=RandomOrdering(), seed=seed)
+        if config.algorithm is SamplerAlgorithm.BRUTE_FORCE:
+            return BruteForceSampler(database, seed=seed)
+        raise ConfigurationError(f"unsupported sampler algorithm {config.algorithm!r}")

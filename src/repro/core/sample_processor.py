@@ -1,0 +1,97 @@
+"""The Sample Processor module (paper Section 3.3).
+
+"The sample processor module takes charge of the candidate samples and
+refines them by applying an acceptance-rejection sampling technique based on
+the user specified requirement for performance and accuracy.  Only a subset
+of the candidate samples will be included in the output."
+
+:class:`SampleProcessor` receives candidates from the Sample Generator,
+applies the acceptance–rejection decision of the algorithm in use (scaled by
+the tradeoff slider for the random walk; page-size based for brute force;
+pass-through for exact-count-aided sampling), optionally de-duplicates, and
+emits accepted :class:`~repro.algorithms.base.SampleRecord` objects for the
+Output Module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro._rng import resolve_rng
+from repro.algorithms.base import Candidate, HiddenSampler, SampleRecord
+
+
+@dataclass
+class ProcessorStatistics:
+    """Counters of the acceptance–rejection stage."""
+
+    candidates_seen: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    duplicates_dropped: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of seen candidates that became samples."""
+        if self.candidates_seen == 0:
+            return 0.0
+        return self.accepted / self.candidates_seen
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "candidates_seen": self.candidates_seen,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "duplicates_dropped": self.duplicates_dropped,
+            "acceptance_rate": self.acceptance_rate,
+        }
+
+
+class SampleProcessor:
+    """Acceptance–rejection refinement of candidate samples."""
+
+    def __init__(
+        self,
+        sampler: HiddenSampler,
+        deduplicate: bool = False,
+        seed: int | random.Random | None = None,
+    ) -> None:
+        self._sampler = sampler
+        self.deduplicate = deduplicate
+        self._rng = resolve_rng(seed)
+        self._seen_tuple_ids: set[int] = set()
+        self.statistics = ProcessorStatistics()
+
+    def process(self, candidate: Candidate) -> SampleRecord | None:
+        """Apply acceptance–rejection to one candidate.
+
+        Returns the accepted sample record, or ``None`` when the candidate is
+        rejected (or dropped as a duplicate when de-duplication is on).
+        """
+        self.statistics.candidates_seen += 1
+        probability = self._sampler.acceptance_probability(candidate)
+        if self._rng.random() >= probability:
+            self.statistics.rejected += 1
+            return None
+        if self.deduplicate:
+            if candidate.tuple_id in self._seen_tuple_ids:
+                self.statistics.duplicates_dropped += 1
+                return None
+            self._seen_tuple_ids.add(candidate.tuple_id)
+        self.statistics.accepted += 1
+        return SampleRecord(
+            tuple_id=candidate.tuple_id,
+            values=dict(candidate.values),
+            selectable_values=dict(candidate.selectable_values),
+            selection_probability=candidate.selection_probability,
+            acceptance_probability=probability,
+            queries_spent=candidate.trace.queries_issued,
+            source=candidate.source,
+        )
+
+    def reset(self) -> None:
+        """Forget de-duplication state and statistics (a fresh run)."""
+        self._seen_tuple_ids.clear()
+        self.statistics = ProcessorStatistics()

@@ -1,0 +1,146 @@
+"""The incremental sampling pipeline with progress events and a kill switch.
+
+"The entire system works in an incremental fashion where the Sample
+Generator, Sample Processor and Output module generate samples and updates
+the final sample set and histograms till the desired number of samples are
+obtained.  A kill switch has been included to facilitate stopping the
+sampling procedure in case the user is satisfied with the samples extracted
+thus far."  (paper Section 3.4)
+
+:class:`SamplingSession` is that loop.  It is deliberately synchronous and
+re-entrant — :meth:`step` performs exactly one candidate attempt — so the
+interactive front end, the examples and the tests can all drive it, observe
+progress through registered callbacks, and stop it at any point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro._rng import resolve_rng, spawn_rng
+from repro.algorithms.base import SampleRecord
+from repro.core.config import HDSamplerConfig
+from repro.core.output import OutputModule
+from repro.core.sample_generator import SampleGenerator
+from repro.core.sample_processor import SampleProcessor
+from repro.database.interface import HiddenDatabase
+
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a sampling session."""
+
+    READY = "ready"
+    RUNNING = "running"
+    STOPPED = "stopped"        #: the kill switch was used
+    COMPLETED = "completed"    #: the requested number of samples was collected
+    EXHAUSTED = "exhausted"    #: budget or attempt limit ran out first
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot emitted after every accepted sample (and at termination)."""
+
+    samples_collected: int
+    samples_requested: int
+    attempts: int
+    queries_issued: int
+    state: SessionState
+    last_sample: SampleRecord | None
+
+    @property
+    def fraction_done(self) -> float:
+        """Progress toward the requested sample count, in ``[0, 1]``."""
+        if self.samples_requested <= 0:
+            return 1.0
+        return min(1.0, self.samples_collected / self.samples_requested)
+
+
+class SamplingSession:
+    """Drives generator → processor → output until done, stopped or exhausted."""
+
+    def __init__(self, database: HiddenDatabase, config: HDSamplerConfig) -> None:
+        self.config = config
+        rng = resolve_rng(config.seed)
+        self.generator = SampleGenerator(database, config)
+        self.processor = SampleProcessor(
+            self.generator.sampler,
+            deduplicate=config.deduplicate,
+            seed=spawn_rng(rng, "processor"),
+        )
+        self.output = OutputModule(self.generator.database.schema)
+        self.state = SessionState.READY
+        self.attempts = 0
+        self._stop_requested = False
+        self._callbacks: list[ProgressCallback] = []
+
+    # -- observers ------------------------------------------------------------------
+
+    def on_progress(self, callback: ProgressCallback) -> None:
+        """Register a callback invoked after every accepted sample and at the end."""
+        self._callbacks.append(callback)
+
+    def _emit(self, last_sample: SampleRecord | None) -> None:
+        event = ProgressEvent(
+            samples_collected=len(self.output),
+            samples_requested=self.config.n_samples,
+            attempts=self.attempts,
+            queries_issued=self.generator.interface_queries_issued(),
+            state=self.state,
+            last_sample=last_sample,
+        )
+        for callback in self._callbacks:
+            callback(event)
+
+    # -- the kill switch -----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the session to stop after the current attempt (kill switch)."""
+        self._stop_requested = True
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the kill switch has been used."""
+        return self._stop_requested
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def step(self) -> SampleRecord | None:
+        """Perform one candidate attempt; return the accepted sample, if any."""
+        self.attempts += 1
+        candidate = self.generator.next_candidate()
+        if candidate is None:
+            return None
+        sample = self.processor.process(candidate)
+        if sample is None:
+            return None
+        self.output.add(sample)
+        return sample
+
+    def run(self) -> OutputModule:
+        """Run until the requested samples are collected, stopped, or exhausted."""
+        self.state = SessionState.RUNNING
+        while True:
+            if self._stop_requested:
+                self.state = SessionState.STOPPED
+                break
+            if len(self.output) >= self.config.n_samples:
+                self.state = SessionState.COMPLETED
+                break
+            if self._out_of_attempts() or self.generator.budget_exhausted:
+                self.state = SessionState.EXHAUSTED
+                break
+            sample = self.step()
+            if sample is not None:
+                self._emit(sample)
+            elif self.generator.budget_exhausted:
+                self.state = SessionState.EXHAUSTED
+                break
+        self._emit(None)
+        return self.output
+
+    def _out_of_attempts(self) -> bool:
+        return self.config.max_attempts is not None and self.attempts >= self.config.max_attempts

@@ -1,0 +1,83 @@
+"""The efficiency↔skew slider of the HDSampler front end (paper Section 3.1).
+
+"We provide a slider with one end having the highest efficiency and the other
+having the lowest skew."  :class:`TradeoffSlider` is that slider as a value
+object: a position in ``[0, 1]`` where 0 is *lowest skew* (most uniform,
+slowest) and 1 is *highest efficiency* (fastest, most skew), plus the mapping
+from the position to the concrete acceptance–rejection scaling factor used by
+the Sample Processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.acceptance_rejection import ScaledAcceptancePolicy, scale_for_tradeoff
+from repro.database.schema import Schema
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TradeoffSlider:
+    """Position of the efficiency↔skew slider.
+
+    ``position = 0.0`` → lowest skew, ``position = 1.0`` → highest efficiency.
+    The default of 0.5 matches the paper's remark that the system's "inherent
+    nature dictates a balance between these two parameters".
+    """
+
+    position: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.position <= 1.0:
+            raise ConfigurationError(
+                f"slider position must be between 0 (lowest skew) and 1 (highest efficiency), "
+                f"got {self.position}"
+            )
+
+    # -- named presets -----------------------------------------------------------
+
+    @classmethod
+    def lowest_skew(cls) -> "TradeoffSlider":
+        """The end of the slider that produces the most uniform samples."""
+        return cls(position=0.0)
+
+    @classmethod
+    def balanced(cls) -> "TradeoffSlider":
+        """The middle of the slider."""
+        return cls(position=0.5)
+
+    @classmethod
+    def highest_efficiency(cls) -> "TradeoffSlider":
+        """The end of the slider that produces samples fastest."""
+        return cls(position=1.0)
+
+    # -- derived settings -----------------------------------------------------------
+
+    @property
+    def efficiency(self) -> float:
+        """The position itself, read as the efficiency parameter in ``[0, 1]``."""
+        return self.position
+
+    @property
+    def skew_preference(self) -> float:
+        """How strongly uniformity is preferred (1 - efficiency)."""
+        return 1.0 - self.position
+
+    def acceptance_scale(self, schema: Schema, k: int) -> float:
+        """The acceptance–rejection scaling factor ``C`` for this position."""
+        return scale_for_tradeoff(schema, k, self.position)
+
+    def acceptance_policy(self, schema: Schema, k: int) -> ScaledAcceptancePolicy:
+        """A ready-to-use acceptance policy for this position."""
+        return ScaledAcceptancePolicy(self.acceptance_scale(schema, k))
+
+    def describe(self) -> str:
+        """Human-readable description used by the front end."""
+        if self.position <= 0.05:
+            flavour = "lowest skew (slowest)"
+        elif self.position >= 0.95:
+            flavour = "highest efficiency (most skew)"
+        else:
+            flavour = "balanced"
+        return f"slider at {self.position:.2f}: {flavour}"

@@ -1,0 +1,47 @@
+"""Hidden-database substrate: schema, storage, query engine and interface.
+
+This subpackage implements everything the paper assumes about the data
+provider's side of the system: a structured table, a conjunctive query
+language, a proprietary ranking function, a top-``k`` query engine that flags
+overflow, and the :class:`~repro.database.interface.HiddenDatabaseInterface`
+contract that samplers interact with (optionally under a per-client query
+budget, mirroring per-IP limits of real sites).
+"""
+
+from repro.database.schema import Attribute, AttributeKind, Domain, Schema
+from repro.database.table import Table
+from repro.database.query import ConjunctiveQuery, Predicate, PredicateOperator
+from repro.database.ranking import (
+    AttributeWeightedRanking,
+    HashRanking,
+    RankingFunction,
+    StaticScoreRanking,
+)
+from repro.database.engine import QueryEngine, QueryOutcome, QueryResult
+from repro.database.interface import CountMode, HiddenDatabaseInterface, InterfaceStatistics
+from repro.database.limits import QueryBudget
+from repro.database.stats import ground_truth_aggregate, ground_truth_marginal
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "AttributeWeightedRanking",
+    "ConjunctiveQuery",
+    "CountMode",
+    "Domain",
+    "HashRanking",
+    "HiddenDatabaseInterface",
+    "InterfaceStatistics",
+    "Predicate",
+    "PredicateOperator",
+    "QueryBudget",
+    "QueryEngine",
+    "QueryOutcome",
+    "QueryResult",
+    "RankingFunction",
+    "Schema",
+    "StaticScoreRanking",
+    "Table",
+    "ground_truth_aggregate",
+    "ground_truth_marginal",
+]

@@ -1,0 +1,106 @@
+"""The back-end query engine of the hidden database.
+
+This is the data provider's side of the contract: evaluate a conjunctive
+query against the full table, rank the qualifying tuples with the proprietary
+ranking function, and return at most ``k`` of them together with an overflow
+flag.  Nothing in here is visible to the sampler except through
+:class:`~repro.database.interface.HiddenDatabaseInterface`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import RankingFunction, RowIdRanking
+from repro.database.table import Row, Table
+
+
+class QueryOutcome(enum.Enum):
+    """How the interface classifies a query's answer (paper, Section 2)."""
+
+    EMPTY = "empty"          #: no tuple satisfies the query (an "underflow" leaf)
+    VALID = "valid"          #: between 1 and k tuples; all of them are returned
+    OVERFLOW = "overflow"    #: more than k tuples qualify; only the top-k are shown
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What the form interface returns for one query.
+
+    ``returned_row_ids`` identifies the (at most ``k``) displayed tuples in
+    ranking order; ``total_count`` is the number of qualifying tuples *before*
+    the top-``k`` cut, which the engine always knows but the public interface
+    may hide or perturb (Google Base's counts are approximate and the paper's
+    system ignores them).
+    """
+
+    query: ConjunctiveQuery
+    outcome: QueryOutcome
+    returned_row_ids: tuple[int, ...]
+    total_count: int
+    k: int
+
+    @property
+    def overflow(self) -> bool:
+        """True when the interface signalled that not all matches were shown."""
+        return self.outcome is QueryOutcome.OVERFLOW
+
+    @property
+    def empty(self) -> bool:
+        """True when no tuple matched the query."""
+        return self.outcome is QueryOutcome.EMPTY
+
+    @property
+    def returned_count(self) -> int:
+        """Number of tuples actually displayed."""
+        return len(self.returned_row_ids)
+
+
+class QueryEngine:
+    """Evaluates conjunctive queries over a :class:`Table` with a top-``k`` cut.
+
+    Parameters
+    ----------
+    table:
+        The hidden back-end data.
+    k:
+        Maximum number of tuples displayed per query (``k = 1000`` for Google
+        Base, ``25`` for MSN Stock Screener, ...).
+    ranking:
+        Deterministic ranking function used to pick which tuples are shown
+        when a query overflows.  Defaults to ranking by row id.
+    """
+
+    def __init__(self, table: Table, k: int, ranking: RankingFunction | None = None) -> None:
+        if k <= 0:
+            raise ValueError("k must be a positive integer")
+        self.table = table
+        self.k = k
+        self.ranking = ranking if ranking is not None else RowIdRanking()
+
+    def matching_row_ids(self, query: ConjunctiveQuery) -> list[int]:
+        """Row ids of every tuple satisfying ``query`` (no top-k applied)."""
+        return self.table.matching_row_ids(query.matches)
+
+    def count(self, query: ConjunctiveQuery) -> int:
+        """Exact number of tuples satisfying ``query``."""
+        return len(self.matching_row_ids(query))
+
+    def execute(self, query: ConjunctiveQuery) -> QueryResult:
+        """Evaluate ``query`` and apply the top-``k`` display restriction."""
+        matching = self.matching_row_ids(query)
+        total = len(matching)
+        if total == 0:
+            return QueryResult(query, QueryOutcome.EMPTY, (), 0, self.k)
+        if total <= self.k:
+            shown = tuple(self.ranking.order(self.table, matching))
+            return QueryResult(query, QueryOutcome.VALID, shown, total, self.k)
+        shown = tuple(self.ranking.top_k(self.table, matching, self.k))
+        return QueryResult(query, QueryOutcome.OVERFLOW, shown, total, self.k)
+
+    def rows(self, row_ids: Sequence[int]) -> list[Row]:
+        """Materialise rows by id (what the result page displays)."""
+        return [self.table[row_id] for row_id in row_ids]

@@ -1,0 +1,258 @@
+"""The conjunctive web form interface contract, as seen by a sampler.
+
+:class:`HiddenDatabaseInterface` is the *only* thing HDSampler is allowed to
+talk to: submit a conjunctive query, get back at most ``k`` ranked tuples and
+an overflow flag.  The class wraps a :class:`~repro.database.engine.QueryEngine`
+and adds the client-visible realities of real hidden databases:
+
+* an optional per-client :class:`~repro.database.limits.QueryBudget`;
+* a configurable *count mode* — real interfaces report either no result count,
+  an exact count, or (like Google Base) an approximate count produced by "some
+  proprietary algorithm" that the paper's system deliberately ignores;
+* bookkeeping of how many queries were issued and their outcomes, which is the
+  efficiency side of every experiment.
+
+The same contract is also implemented by
+:class:`repro.web.client.WebFormClient`, which goes through rendered HTML
+pages instead of calling the engine directly; samplers cannot tell the
+difference, which is the point.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+from repro._rng import resolve_rng
+from repro.database.engine import QueryEngine, QueryOutcome, QueryResult
+from repro.database.limits import QueryBudget
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import RankingFunction
+from repro.database.schema import Schema, Value
+from repro.database.table import Table
+from repro.exceptions import InterfaceError
+
+
+class CountMode(enum.Enum):
+    """How (and whether) the interface reports the total number of matches."""
+
+    NONE = "none"        #: the result page shows no count at all
+    EXACT = "exact"      #: the true count is reported (used by count-aided sampling)
+    NOISY = "noisy"      #: a perturbed count is reported (the Google Base situation)
+
+
+@dataclass(frozen=True)
+class ReturnedTuple:
+    """One tuple as displayed on a result page.
+
+    ``tuple_id`` is an opaque listing identifier (a URL or item id in real
+    sites); samplers may use it only for de-duplication, never for enumeration.
+    ``values`` holds the raw displayed values of the searchable attributes and
+    any extra display columns; ``selectable_values`` maps searchable attributes
+    to the form value (bucket label, category) they fall under.
+    """
+
+    tuple_id: int
+    values: Mapping[str, Value]
+    selectable_values: Mapping[str, Value]
+
+    def value(self, attribute: str) -> Value:
+        """Raw displayed value of ``attribute``."""
+        return self.values[attribute]
+
+
+@dataclass(frozen=True)
+class InterfaceResponse:
+    """Everything a client learns from submitting one query."""
+
+    query: ConjunctiveQuery
+    tuples: tuple[ReturnedTuple, ...]
+    overflow: bool
+    reported_count: int | None
+    k: int
+
+    @property
+    def empty(self) -> bool:
+        """True when the result page listed no tuples."""
+        return not self.tuples
+
+    @property
+    def valid(self) -> bool:
+        """True when the query returned 1..k tuples without overflow."""
+        return bool(self.tuples) and not self.overflow
+
+
+@dataclass
+class InterfaceStatistics:
+    """Counters describing the interaction history with the interface."""
+
+    queries_issued: int = 0
+    empty_results: int = 0
+    valid_results: int = 0
+    overflow_results: int = 0
+    tuples_returned: int = 0
+
+    def record(self, response: InterfaceResponse) -> None:
+        """Update the counters with one response."""
+        self.queries_issued += 1
+        self.tuples_returned += len(response.tuples)
+        if response.empty:
+            self.empty_results += 1
+        elif response.overflow:
+            self.overflow_results += 1
+        else:
+            self.valid_results += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view used by reports and benchmarks."""
+        return {
+            "queries_issued": self.queries_issued,
+            "empty_results": self.empty_results,
+            "valid_results": self.valid_results,
+            "overflow_results": self.overflow_results,
+            "tuples_returned": self.tuples_returned,
+        }
+
+
+@runtime_checkable
+class HiddenDatabase(Protocol):
+    """Structural protocol every hidden-database access path implements.
+
+    Both :class:`HiddenDatabaseInterface` (direct, in-process) and
+    :class:`repro.web.client.WebFormClient` (through rendered HTML) satisfy
+    this protocol, so samplers and the HDSampler core are written against it.
+    """
+
+    @property
+    def schema(self) -> Schema:  # pragma: no cover - protocol declaration
+        ...
+
+    @property
+    def k(self) -> int:  # pragma: no cover - protocol declaration
+        ...
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:  # pragma: no cover
+        ...
+
+
+class HiddenDatabaseInterface:
+    """Direct in-process implementation of the web form interface contract.
+
+    Parameters
+    ----------
+    table:
+        The hidden back-end table.
+    k:
+        Top-``k`` display limit of the interface.
+    ranking:
+        Proprietary ranking function; defaults to row-id order.
+    count_mode:
+        Whether result counts are absent, exact, or noisy.
+    count_noise:
+        Relative noise magnitude for :attr:`CountMode.NOISY` (0.3 means the
+        reported count is uniform in ±30% of the truth).
+    budget:
+        Optional per-client query budget; exceeded budgets raise
+        :class:`~repro.exceptions.QueryBudgetExceededError`.
+    display_columns:
+        Extra non-searchable columns shown on result pages (e.g. a title).
+    seed:
+        Seed for the count-noise generator.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        k: int,
+        ranking: RankingFunction | None = None,
+        count_mode: CountMode = CountMode.NONE,
+        count_noise: float = 0.3,
+        budget: QueryBudget | None = None,
+        display_columns: Sequence[str] = (),
+        seed: int | random.Random | None = 0,
+    ) -> None:
+        if count_noise < 0:
+            raise InterfaceError("count_noise must be non-negative")
+        self._engine = QueryEngine(table, k=k, ranking=ranking)
+        self._table = table
+        self.count_mode = count_mode
+        self.count_noise = count_noise
+        self.budget = budget if budget is not None else QueryBudget()
+        self.display_columns = tuple(display_columns)
+        self.statistics = InterfaceStatistics()
+        self._rng = resolve_rng(seed)
+
+    # -- contract ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The searchable schema advertised by the form."""
+        return self._table.schema
+
+    @property
+    def k(self) -> int:
+        """The top-``k`` display limit."""
+        return self._engine.k
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        """Submit one conjunctive query and return the visible result page.
+
+        Charges the query budget before executing; a budget violation leaves
+        the database untouched and raises.
+        """
+        self.budget.charge(1)
+        result = self._engine.execute(query)
+        response = self._build_response(result)
+        self.statistics.record(response)
+        return response
+
+    # -- internals -----------------------------------------------------------
+
+    def _build_response(self, result: QueryResult) -> InterfaceResponse:
+        tuples = tuple(self._returned_tuple(row_id) for row_id in result.returned_row_ids)
+        return InterfaceResponse(
+            query=result.query,
+            tuples=tuples,
+            overflow=result.outcome is QueryOutcome.OVERFLOW,
+            reported_count=self._reported_count(result.total_count),
+            k=result.k,
+        )
+
+    def _returned_tuple(self, row_id: int) -> ReturnedTuple:
+        row = self._table[row_id]
+        values: dict[str, Value] = {
+            attribute.name: row[attribute.name] for attribute in self._table.schema
+        }
+        for column in self.display_columns:
+            if column in row:
+                values[column] = row[column]
+        selectable = self._table.selectable_row(row)
+        return ReturnedTuple(tuple_id=row_id, values=values, selectable_values=selectable)
+
+    def _reported_count(self, true_count: int) -> int | None:
+        if self.count_mode is CountMode.NONE:
+            return None
+        if self.count_mode is CountMode.EXACT:
+            return true_count
+        if true_count == 0:
+            return 0
+        spread = self.count_noise * true_count
+        noisy = true_count + self._rng.uniform(-spread, spread)
+        return max(0, int(round(noisy)))
+
+    # -- operator-side helpers (not available to samplers) ----------------------
+
+    def true_count(self, query: ConjunctiveQuery) -> int:
+        """Exact match count; for validation/ground truth only, never sampling."""
+        return self._engine.count(query)
+
+    @property
+    def table(self) -> Table:
+        """The hidden table itself; for validation/ground truth only."""
+        return self._table
+
+    def reset_statistics(self) -> None:
+        """Clear interaction counters (budget is left untouched)."""
+        self.statistics = InterfaceStatistics()

@@ -1,0 +1,66 @@
+"""Per-client query accounting and limits.
+
+Section 1 of the paper notes that crawling "could be impossible when data
+providers limit the maximum number of queries that can be issued by an IP
+address".  :class:`QueryBudget` models that limit so experiments can show how
+many samples a given budget buys, and so samplers are forced to be frugal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryBudgetExceededError
+
+
+@dataclass
+class QueryBudget:
+    """A mutable counter of queries issued against a hidden database.
+
+    ``limit`` of ``None`` means unlimited (the default for local experiments);
+    otherwise :meth:`charge` raises :class:`QueryBudgetExceededError` once the
+    limit is reached, exactly like a site that starts refusing requests.
+    """
+
+    limit: int | None = None
+    issued: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("query budget limit must be non-negative or None")
+        if self.issued < 0:
+            raise ValueError("issued count must be non-negative")
+
+    @property
+    def remaining(self) -> int | None:
+        """Queries left before the limit, or ``None`` when unlimited."""
+        if self.limit is None:
+            return None
+        return max(self.limit - self.issued, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no further query may be charged."""
+        return self.limit is not None and self.issued >= self.limit
+
+    def charge(self, count: int = 1) -> None:
+        """Record ``count`` issued queries, raising if the limit is exceeded."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.limit is not None and self.issued + count > self.limit:
+            raise QueryBudgetExceededError(self.issued + count, self.limit)
+        self.issued += count
+
+    def can_afford(self, count: int = 1) -> bool:
+        """Whether ``count`` more queries fit in the budget."""
+        if self.limit is None:
+            return True
+        return self.issued + count <= self.limit
+
+    def reset(self) -> None:
+        """Forget all charges (a new client / new day of quota)."""
+        self.issued = 0
+
+    def copy(self) -> "QueryBudget":
+        """An independent copy with the same limit and charge count."""
+        return QueryBudget(limit=self.limit, issued=self.issued)

@@ -1,0 +1,114 @@
+"""Ranking functions: how the hidden database picks the top-``k`` tuples.
+
+The paper stresses that the ranking function is *proprietary* and, crucially,
+not random: a tuple returned by an overflowing query cannot be treated as a
+random sample.  Samplers therefore must not assume anything about it beyond
+determinism.  We provide several concrete ranking functions so tests and
+benchmarks can confirm the samplers' correctness is ranking-agnostic:
+
+* :class:`StaticScoreRanking` — each tuple has a fixed relevance score stored
+  in a hidden column (the common "sponsored/boosted listing" model);
+* :class:`AttributeWeightedRanking` — score is a weighted combination of
+  numeric attributes (e.g. newer, cheaper cars first);
+* :class:`HashRanking` — a deterministic pseudo-random but *fixed* order
+  derived from hashing the row contents, standing in for an arbitrary
+  proprietary function.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from repro._rng import stable_hash
+from repro.database.table import Row, Table
+from repro.exceptions import SchemaError
+
+
+class RankingFunction(abc.ABC):
+    """Assigns every row a deterministic sort key; lower key = higher rank."""
+
+    @abc.abstractmethod
+    def key(self, row_id: int, row: Row) -> float:
+        """Return the sort key of ``row`` (ties broken by row id)."""
+
+    def order(self, table: Table, row_ids: Sequence[int]) -> list[int]:
+        """Return ``row_ids`` sorted by rank (best first, deterministic)."""
+        return sorted(row_ids, key=lambda row_id: (self.key(row_id, table[row_id]), row_id))
+
+    def top_k(self, table: Table, row_ids: Sequence[int], k: int) -> list[int]:
+        """The ``k`` best row ids among ``row_ids``."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.order(table, row_ids)[:k]
+
+
+class StaticScoreRanking(RankingFunction):
+    """Rank by a static per-tuple relevance score stored in a hidden column.
+
+    Higher scores rank first.  Missing scores rank last.
+    """
+
+    def __init__(self, score_column: str = "score") -> None:
+        if not score_column:
+            raise SchemaError("score_column must be non-empty")
+        self.score_column = score_column
+
+    def key(self, row_id: int, row: Row) -> float:
+        score = row.get(self.score_column)
+        if score is None:
+            return float("inf")
+        return -float(score)  # type: ignore[arg-type]
+
+
+class AttributeWeightedRanking(RankingFunction):
+    """Rank by a weighted sum of numeric columns (higher sum ranks first).
+
+    ``weights`` maps column names to multipliers; for example
+    ``{"year": 1.0, "price": -0.0001}`` ranks newer and cheaper vehicles first,
+    a plausible stand-in for what a dealership search would do.
+    """
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise SchemaError("AttributeWeightedRanking requires at least one weight")
+        self.weights = dict(weights)
+
+    def key(self, row_id: int, row: Row) -> float:
+        total = 0.0
+        for column, weight in self.weights.items():
+            value = row.get(column)
+            if value is None:
+                continue
+            try:
+                total += weight * float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+        return -total
+
+
+class HashRanking(RankingFunction):
+    """A deterministic but opaque ordering derived from hashing row contents.
+
+    This models a proprietary ranking function the sampler knows nothing
+    about.  The ``salt`` makes it possible to instantiate many distinct
+    opaque rankings for sensitivity experiments.
+    """
+
+    def __init__(self, salt: str = "hdsampler") -> None:
+        self.salt = salt
+
+    def key(self, row_id: int, row: Row) -> float:
+        material = self.salt + "|" + repr(sorted(row.items(), key=lambda item: item[0]))
+        return float(stable_hash(material) % (2**53))
+
+
+class RowIdRanking(RankingFunction):
+    """Rank rows by their insertion order (row id).
+
+    The simplest deterministic ranking; useful in unit tests because the
+    top-``k`` of any query is trivially predictable.
+    """
+
+    def key(self, row_id: int, row: Row) -> float:
+        return float(row_id)

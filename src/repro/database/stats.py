@@ -1,0 +1,95 @@
+"""Ground-truth statistics over the full hidden table.
+
+These functions answer, exactly, the questions HDSampler answers
+approximately from samples: marginal distributions and aggregate queries.
+They exist only because our hidden database is local (the paper's backup
+plan, Section 4) — real deployments cannot compute them, which is the whole
+motivation for sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import AttributeKind, Value
+from repro.database.table import Row, Table
+from repro.exceptions import QueryError
+
+
+def ground_truth_marginal(table: Table, attribute_name: str) -> dict[Value, float]:
+    """Exact marginal distribution of ``attribute_name`` over selectable values.
+
+    Returns a mapping from each selectable value to its fraction of the table
+    (fractions sum to 1 for a non-empty table).
+    """
+    counts = table.value_counts(attribute_name)
+    total = len(table)
+    if total == 0:
+        return {value: 0.0 for value in counts}
+    return {value: count / total for value, count in counts.items()}
+
+
+def ground_truth_marginal_counts(table: Table, attribute_name: str) -> dict[Value, int]:
+    """Exact marginal counts of ``attribute_name`` (Figure 4's validation bars)."""
+    return table.value_counts(attribute_name)
+
+
+def ground_truth_aggregate(
+    table: Table,
+    aggregate: str,
+    measure_attribute: str | None = None,
+    condition: ConjunctiveQuery | None = None,
+) -> float:
+    """Exact COUNT / SUM / AVG over the hidden table.
+
+    Parameters
+    ----------
+    aggregate:
+        One of ``"count"``, ``"sum"`` or ``"avg"`` (case-insensitive).
+    measure_attribute:
+        The numeric column aggregated by SUM/AVG; ignored for COUNT.
+    condition:
+        Optional conjunctive selection; ``None`` aggregates the whole table.
+    """
+    kind = aggregate.lower()
+    if kind not in {"count", "sum", "avg"}:
+        raise QueryError(f"unsupported aggregate {aggregate!r}; expected count, sum or avg")
+    rows: Sequence[Row]
+    if condition is None:
+        rows = table.rows
+    else:
+        rows = [row for row in table.rows if condition.matches(row)]
+    if kind == "count":
+        return float(len(rows))
+    if measure_attribute is None:
+        raise QueryError(f"{kind.upper()} requires a measure attribute")
+    values = [float(row[measure_attribute]) for row in rows]  # type: ignore[arg-type]
+    if kind == "sum":
+        return float(sum(values))
+    if not values:
+        return float("nan")
+    return float(sum(values) / len(values))
+
+
+def conditional_fraction(table: Table, predicate: Callable[[Row], bool]) -> float:
+    """Fraction of the table satisfying an arbitrary row predicate."""
+    if len(table) == 0:
+        return 0.0
+    return sum(1 for row in table.rows if predicate(row)) / len(table)
+
+
+def numeric_attribute_names(table: Table) -> tuple[str, ...]:
+    """Names of searchable attributes whose domain is numeric."""
+    return tuple(
+        attribute.name
+        for attribute in table.schema
+        if attribute.kind is AttributeKind.NUMERIC
+    )
+
+
+def summarise_table(table: Table) -> dict[str, Mapping[Value, int]]:
+    """Exact marginal counts of every searchable attribute, keyed by name."""
+    return {
+        attribute.name: table.value_counts(attribute.name) for attribute in table.schema
+    }

@@ -1,0 +1,37 @@
+"""Synthetic workload generators used as locally-simulated hidden databases.
+
+Because the paper's live data source (Google Base Vehicles) no longer exists
+and this reproduction runs offline, every experiment uses the paper's own
+backup plan (Section 4): a locally simulated hidden database for which the
+full table — and hence exact ground truth — is available for validation.
+
+Generators:
+
+* :func:`~repro.datasets.vehicles.generate_vehicles_table` — a Google-Base-like
+  vehicle catalogue with realistically skewed makes/models/prices;
+* :func:`~repro.datasets.boolean.generate_boolean_table` — the boolean
+  databases of the SIGMOD 2007 analysis (Figure 1's world), iid / zipf /
+  correlated;
+* :func:`~repro.datasets.categorical.generate_categorical_table` — categorical
+  tables with configurable cardinalities and skew;
+* :func:`~repro.datasets.mixed.generate_mixed_table` — mixed categorical +
+  numeric schemas.
+"""
+
+from repro.datasets.vehicles import VehiclesConfig, generate_vehicles_table, vehicles_schema
+from repro.datasets.boolean import BooleanConfig, figure1_table, generate_boolean_table
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+from repro.datasets.mixed import MixedConfig, generate_mixed_table
+
+__all__ = [
+    "BooleanConfig",
+    "CategoricalConfig",
+    "MixedConfig",
+    "VehiclesConfig",
+    "figure1_table",
+    "generate_boolean_table",
+    "generate_categorical_table",
+    "generate_mixed_table",
+    "generate_vehicles_table",
+    "vehicles_schema",
+]

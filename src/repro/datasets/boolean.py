@@ -1,0 +1,127 @@
+"""Boolean hidden databases: the setting of the SIGMOD 2007 analysis.
+
+HIDDEN-DB-SAMPLER is introduced and analysed over boolean databases (paper
+Figure 1): ``m`` boolean attributes, ``n`` tuples, and a binary query tree of
+depth ``m`` whose leaves are the possible tuples.  These generators produce
+such databases under three value distributions:
+
+* ``iid`` — each attribute is an independent Bernoulli(p);
+* ``zipf`` — attribute probabilities decay by rank, producing the skewed
+  marginals where acceptance/rejection matters most;
+* ``correlated`` — attribute ``i+1`` copies attribute ``i`` with a given
+  probability, producing the clustered databases where random drill-downs hit
+  empty subtrees often.
+
+Tuples are generated without replacement of *identity* (duplicates are
+allowed, as in real databases), and the exact Figure 1 instance is available
+as :func:`figure1_table` for unit tests and benchmark E1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro._rng import resolve_rng
+from repro.database.schema import Attribute, Domain, Schema
+from repro.database.table import Table
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BooleanConfig:
+    """Configuration of the boolean database generator."""
+
+    n_rows: int = 1_000
+    n_attributes: int = 10
+    distribution: str = "iid"
+    """One of ``"iid"``, ``"zipf"``, ``"correlated"``."""
+    probability: float = 0.5
+    """Bernoulli parameter for ``iid`` (and the base rate for the other modes)."""
+    skew: float = 1.0
+    """Zipf exponent for ``zipf``; correlation strength (0..1) for ``correlated``."""
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0:
+            raise ConfigurationError("n_rows must be positive")
+        if self.n_attributes <= 0:
+            raise ConfigurationError("n_attributes must be positive")
+        if self.distribution not in {"iid", "zipf", "correlated"}:
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}; expected iid, zipf or correlated"
+            )
+        if not 0.0 < self.probability < 1.0:
+            raise ConfigurationError("probability must be strictly between 0 and 1")
+        if self.skew < 0:
+            raise ConfigurationError("skew must be non-negative")
+
+
+def boolean_schema(n_attributes: int) -> Schema:
+    """A schema of ``n_attributes`` boolean attributes named ``a1 .. an``."""
+    attributes = [Attribute(f"a{i + 1}", Domain.boolean()) for i in range(n_attributes)]
+    return Schema(attributes, name=f"boolean{n_attributes}")
+
+
+def generate_boolean_table(config: BooleanConfig | None = None) -> Table:
+    """Generate a boolean hidden database per ``config``."""
+    config = config or BooleanConfig()
+    rng = resolve_rng(config.seed)
+    schema = boolean_schema(config.n_attributes)
+    probabilities = _attribute_probabilities(config)
+
+    rows = []
+    for _ in range(config.n_rows):
+        rows.append(_generate_row(rng, schema, probabilities, config))
+    return Table(schema, rows, name=f"boolean-{config.distribution}")
+
+
+def _attribute_probabilities(config: BooleanConfig) -> list[float]:
+    if config.distribution == "zipf":
+        return [
+            min(0.95, max(0.05, config.probability / float(rank) ** config.skew))
+            for rank in range(1, config.n_attributes + 1)
+        ]
+    return [config.probability] * config.n_attributes
+
+
+def _generate_row(
+    rng: random.Random,
+    schema: Schema,
+    probabilities: list[float],
+    config: BooleanConfig,
+) -> dict[str, object]:
+    row: dict[str, object] = {}
+    previous: bool | None = None
+    for attribute, probability in zip(schema, probabilities):
+        if config.distribution == "correlated" and previous is not None and rng.random() < config.skew:
+            value = previous
+        else:
+            value = rng.random() < probability
+        row[attribute.name] = value
+        previous = value
+    # Static score column so non-trivial rankings can be applied in tests.
+    row["score"] = rng.random()
+    return row
+
+
+def figure1_table() -> Table:
+    """The exact 4-tuple, 3-attribute boolean database of the paper's Figure 1.
+
+    ===  ==  ==  ==
+    row  a1  a2  a3
+    ===  ==  ==  ==
+    t1    0   0   1
+    t2    0   1   0
+    t3    0   1   1
+    t4    1   1   0
+    ===  ==  ==  ==
+    """
+    schema = boolean_schema(3)
+    rows = [
+        {"a1": False, "a2": False, "a3": True, "score": 4.0},
+        {"a1": False, "a2": True, "a3": False, "score": 3.0},
+        {"a1": False, "a2": True, "a3": True, "score": 2.0},
+        {"a1": True, "a2": True, "a3": False, "score": 1.0},
+    ]
+    return Table(schema, rows, name="figure1")

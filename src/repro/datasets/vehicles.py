@@ -1,0 +1,277 @@
+"""A synthetic Google-Base-Vehicles-like catalogue.
+
+The paper's demo points HDSampler at the Google Base Vehicles database: a
+large, heavily skewed catalogue of vehicle listings aggregated from many
+dealers, searchable by make, model, price range, colour, year, mileage, body
+style and condition, with a top-k limit of 1000.
+
+This module generates a statistically similar table:
+
+* a realistic make → model hierarchy with Zipf-skewed make popularity (a few
+  makes dominate, many are rare — exactly the situation where naive sampling
+  of overflowing queries is badly biased toward popular listings);
+* per-make price and mileage distributions (luxury makes cost more, older
+  cars have more miles);
+* a static ``score`` column standing in for the proprietary listing quality
+  used by the ranking function;
+* a ``title`` display column, because real result pages show more than the
+  searchable attributes.
+
+The generated table answers the demo's motivating question exactly: "the
+percentage of Japanese cars in the dealer's inventory" is a known ground
+truth that benchmarks compare sampled estimates against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro._rng import resolve_rng, weighted_choice, zipf_weights
+from repro.database.ranking import StaticScoreRanking
+from repro.database.schema import Attribute, Domain, Schema
+from repro.database.table import Table
+
+#: Make → (country, models, popularity weight, price multiplier).
+_MAKE_CATALOGUE: dict[str, dict[str, object]] = {
+    "Toyota": {
+        "country": "Japan",
+        "models": ("Camry", "Corolla", "RAV4", "Prius", "Tacoma", "Highlander"),
+        "weight": 10.0,
+        "price_scale": 1.0,
+    },
+    "Honda": {
+        "country": "Japan",
+        "models": ("Civic", "Accord", "CR-V", "Pilot", "Odyssey"),
+        "weight": 9.0,
+        "price_scale": 1.0,
+    },
+    "Ford": {
+        "country": "USA",
+        "models": ("F-150", "Focus", "Escape", "Explorer", "Mustang", "Fusion"),
+        "weight": 9.5,
+        "price_scale": 0.95,
+    },
+    "Chevrolet": {
+        "country": "USA",
+        "models": ("Silverado", "Malibu", "Impala", "Equinox", "Tahoe"),
+        "weight": 8.0,
+        "price_scale": 0.95,
+    },
+    "Nissan": {
+        "country": "Japan",
+        "models": ("Altima", "Sentra", "Rogue", "Maxima", "Frontier"),
+        "weight": 6.0,
+        "price_scale": 0.9,
+    },
+    "BMW": {
+        "country": "Germany",
+        "models": ("328i", "535i", "X3", "X5", "M3"),
+        "weight": 3.0,
+        "price_scale": 1.9,
+    },
+    "Mercedes-Benz": {
+        "country": "Germany",
+        "models": ("C300", "E350", "GLK350", "S550"),
+        "weight": 2.5,
+        "price_scale": 2.1,
+    },
+    "Volkswagen": {
+        "country": "Germany",
+        "models": ("Jetta", "Passat", "Golf", "Tiguan"),
+        "weight": 3.5,
+        "price_scale": 1.05,
+    },
+    "Hyundai": {
+        "country": "Korea",
+        "models": ("Elantra", "Sonata", "Santa Fe", "Tucson"),
+        "weight": 4.0,
+        "price_scale": 0.8,
+    },
+    "Kia": {
+        "country": "Korea",
+        "models": ("Optima", "Sorento", "Soul", "Sportage"),
+        "weight": 3.0,
+        "price_scale": 0.75,
+    },
+    "Subaru": {
+        "country": "Japan",
+        "models": ("Outback", "Forester", "Impreza", "Legacy"),
+        "weight": 2.5,
+        "price_scale": 1.0,
+    },
+    "Dodge": {
+        "country": "USA",
+        "models": ("Ram 1500", "Charger", "Durango", "Grand Caravan"),
+        "weight": 3.5,
+        "price_scale": 0.9,
+    },
+    "Jeep": {
+        "country": "USA",
+        "models": ("Wrangler", "Grand Cherokee", "Liberty", "Patriot"),
+        "weight": 3.0,
+        "price_scale": 1.1,
+    },
+    "Lexus": {
+        "country": "Japan",
+        "models": ("RX350", "ES350", "IS250"),
+        "weight": 1.8,
+        "price_scale": 1.8,
+    },
+    "Audi": {
+        "country": "Germany",
+        "models": ("A4", "A6", "Q5"),
+        "weight": 1.5,
+        "price_scale": 1.8,
+    },
+    "Volvo": {
+        "country": "Sweden",
+        "models": ("XC90", "S60", "V70"),
+        "weight": 1.0,
+        "price_scale": 1.3,
+    },
+    "Mazda": {
+        "country": "Japan",
+        "models": ("Mazda3", "Mazda6", "CX-7", "MX-5"),
+        "weight": 2.2,
+        "price_scale": 0.9,
+    },
+    "Saturn": {
+        "country": "USA",
+        "models": ("Aura", "Vue", "Ion"),
+        "weight": 0.8,
+        "price_scale": 0.7,
+    },
+}
+
+_COLOURS = ("black", "white", "silver", "gray", "blue", "red", "green", "gold", "brown", "orange")
+_COLOUR_WEIGHTS = (9.0, 8.5, 8.0, 7.0, 5.0, 4.5, 1.5, 1.2, 1.0, 0.5)
+_BODY_STYLES = ("sedan", "suv", "truck", "coupe", "hatchback", "minivan", "convertible", "wagon")
+_BODY_WEIGHTS = (9.0, 7.0, 5.0, 2.5, 2.5, 2.0, 1.0, 1.0)
+_CONDITIONS = ("used", "new", "certified")
+_CONDITION_WEIGHTS = (8.0, 1.5, 0.8)
+_YEARS = tuple(range(1998, 2010))
+_PRICE_EDGES = (0.0, 5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0, 45_000.0, 70_000.0, 200_000.0)
+_MILEAGE_EDGES = (0.0, 15_000.0, 40_000.0, 75_000.0, 120_000.0, 400_000.0)
+
+
+@dataclass(frozen=True)
+class VehiclesConfig:
+    """Configuration of the synthetic vehicle catalogue generator."""
+
+    n_rows: int = 20_000
+    make_skew: float = 0.0
+    """Extra Zipf skew applied on top of the built-in make popularity weights."""
+    include_condition: bool = True
+    include_body_style: bool = True
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0:
+            raise ValueError("n_rows must be positive")
+        if self.make_skew < 0:
+            raise ValueError("make_skew must be non-negative")
+
+
+def vehicles_schema(config: VehiclesConfig | None = None) -> Schema:
+    """The searchable schema of the vehicle catalogue.
+
+    Attributes mirror the Google Base Vehicles form: make, model, colour,
+    year, price range, mileage range, and optionally body style and condition.
+    """
+    config = config or VehiclesConfig()
+    all_models = tuple(
+        model
+        for make in _MAKE_CATALOGUE.values()
+        for model in make["models"]  # type: ignore[union-attr]
+    )
+    attributes = [
+        Attribute("make", Domain.categorical(tuple(_MAKE_CATALOGUE)), "vehicle manufacturer"),
+        Attribute("model", Domain.categorical(all_models), "vehicle model"),
+        Attribute("color", Domain.categorical(_COLOURS), "exterior colour"),
+        Attribute("year", Domain.categorical(_YEARS), "model year"),
+        Attribute("price", Domain.numeric_buckets(_PRICE_EDGES), "asking price (USD)"),
+        Attribute("mileage", Domain.numeric_buckets(_MILEAGE_EDGES), "odometer miles"),
+    ]
+    if config.include_body_style:
+        attributes.append(Attribute("body_style", Domain.categorical(_BODY_STYLES), "body style"))
+    if config.include_condition:
+        attributes.append(Attribute("condition", Domain.categorical(_CONDITIONS), "listing condition"))
+    return Schema(attributes, name="vehicles")
+
+
+def make_country(make: str) -> str:
+    """Country of origin of ``make`` (drives the "percentage of Japanese cars" demo question)."""
+    return str(_MAKE_CATALOGUE[make]["country"])
+
+
+def generate_vehicles_table(config: VehiclesConfig | None = None) -> Table:
+    """Generate the synthetic vehicle catalogue described by ``config``.
+
+    Besides the searchable attributes, every row carries three hidden columns:
+    ``country`` (for ground-truth questions about Japanese/German/US cars),
+    ``score`` (static listing quality used by :class:`StaticScoreRanking`) and
+    ``title`` (a display string shown on result pages).
+    """
+    config = config or VehiclesConfig()
+    rng = resolve_rng(config.seed)
+    schema = vehicles_schema(config)
+
+    makes = list(_MAKE_CATALOGUE)
+    base_weights = [float(_MAKE_CATALOGUE[make]["weight"]) for make in makes]
+    if config.make_skew > 0:
+        extra = zipf_weights(len(makes), config.make_skew)
+        weights = [base * boost for base, boost in zip(base_weights, extra)]
+    else:
+        weights = base_weights
+
+    rows = []
+    for _ in range(config.n_rows):
+        rows.append(_generate_row(rng, makes, weights, config))
+    return Table(schema, rows, name="vehicles")
+
+
+def _generate_row(
+    rng: random.Random,
+    makes: list[str],
+    weights: list[float],
+    config: VehiclesConfig,
+) -> dict[str, object]:
+    make = weighted_choice(rng, makes, weights)
+    info = _MAKE_CATALOGUE[make]
+    models: tuple[str, ...] = info["models"]  # type: ignore[assignment]
+    model_weights = zipf_weights(len(models), 0.8)
+    model = weighted_choice(rng, list(models), model_weights)
+    colour = weighted_choice(rng, list(_COLOURS), list(_COLOUR_WEIGHTS))
+    year = weighted_choice(rng, list(_YEARS), [1.0 + 0.35 * i for i in range(len(_YEARS))])
+    age = 2009 - year
+
+    price_scale = float(info["price_scale"])  # type: ignore[arg-type]
+    base_price = rng.lognormvariate(9.6, 0.45) * price_scale
+    depreciation = max(0.35, 1.0 - 0.08 * age)
+    price = min(max(base_price * depreciation, 500.0), 199_999.0)
+
+    mileage = min(max(rng.gauss(11_000.0 * age + 8_000.0, 9_000.0), 0.0), 399_000.0)
+
+    row: dict[str, object] = {
+        "make": make,
+        "model": model,
+        "color": colour,
+        "year": year,
+        "price": round(price, 2),
+        "mileage": round(mileage, 1),
+        # Hidden (non-searchable) columns:
+        "country": str(info["country"]),
+        "score": round(rng.random() * 100.0, 3),
+        "title": f"{year} {make} {model} ({colour})",
+    }
+    if config.include_body_style:
+        row["body_style"] = weighted_choice(rng, list(_BODY_STYLES), list(_BODY_WEIGHTS))
+    if config.include_condition:
+        row["condition"] = weighted_choice(rng, list(_CONDITIONS), list(_CONDITION_WEIGHTS))
+    return row
+
+
+def default_vehicles_ranking() -> StaticScoreRanking:
+    """The ranking function the demo site uses: static listing quality score."""
+    return StaticScoreRanking(score_column="score")

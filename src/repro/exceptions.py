@@ -1,0 +1,86 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+All library-defined exceptions derive from :class:`ReproError` so callers can
+catch any error raised by the reproduction with a single ``except`` clause
+while still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A schema, attribute or domain definition is invalid or inconsistent."""
+
+
+class UnknownAttributeError(SchemaError):
+    """A query or configuration referenced an attribute the schema lacks."""
+
+    def __init__(self, attribute: str, known: tuple[str, ...] = ()) -> None:
+        self.attribute = attribute
+        self.known = tuple(known)
+        message = f"unknown attribute {attribute!r}"
+        if self.known:
+            message += f" (schema attributes: {', '.join(self.known)})"
+        super().__init__(message)
+
+
+class DomainValueError(SchemaError):
+    """A value fell outside the declared domain of an attribute."""
+
+    def __init__(self, attribute: str, value: object) -> None:
+        self.attribute = attribute
+        self.value = value
+        super().__init__(f"value {value!r} is not in the domain of attribute {attribute!r}")
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed (duplicate predicates, bad values...)."""
+
+
+class InterfaceError(ReproError):
+    """The hidden-database interface rejected or could not serve a request."""
+
+
+class QueryBudgetExceededError(InterfaceError):
+    """The client exhausted the per-client query budget of the interface.
+
+    Mirrors real hidden databases that limit the number of queries issued by
+    one IP address (paper, Section 1).
+    """
+
+    def __init__(self, issued: int, budget: int) -> None:
+        self.issued = issued
+        self.budget = budget
+        super().__init__(f"query budget exhausted: issued {issued} of {budget} allowed queries")
+
+
+class SamplingError(ReproError):
+    """A sampler could not make progress (e.g. empty database, zero budget)."""
+
+
+class SamplerStoppedError(SamplingError):
+    """The sampling session was stopped via the kill switch while running."""
+
+
+class ConfigurationError(ReproError):
+    """An HDSampler configuration value is invalid or inconsistent."""
+
+
+class WebFormError(ReproError):
+    """The simulated web-form layer failed to render or parse a page."""
+
+
+class PageNotFoundError(WebFormError):
+    """The in-process hidden web site has no page at the requested path."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        super().__init__(f"no page at path {path!r}")
+
+
+class FormParseError(WebFormError):
+    """An HTML page could not be parsed into a form description or result set."""

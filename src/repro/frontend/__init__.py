@@ -1,0 +1,19 @@
+"""Front-end equivalents of the demo's web UI.
+
+The paper's front end is an AJAX web page (Figures 3 and 4).  The
+reproduction offers the same capabilities without a browser:
+
+* :class:`~repro.frontend.settings.FrontEndSettings` — the settings page as a
+  mutable object: add/remove attributes and value bindings, set the sample
+  count, move the slider, then build the immutable
+  :class:`~repro.core.config.HDSamplerConfig`;
+* :class:`~repro.frontend.dashboard.Dashboard` — live text rendering of an
+  incremental sampling run (progress, latest samples, histograms);
+* :mod:`~repro.frontend.cli` — the ``hdsampler`` command-line program that
+  runs the demo scenario end to end on a locally simulated hidden database.
+"""
+
+from repro.frontend.settings import FrontEndSettings
+from repro.frontend.dashboard import Dashboard
+
+__all__ = ["Dashboard", "FrontEndSettings"]

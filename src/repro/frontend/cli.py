@@ -1,0 +1,164 @@
+"""The ``hdsampler`` command-line front end.
+
+Runs the paper's demo scenario end to end on a locally simulated hidden
+database (the vehicles catalogue by default): configure attributes, sample
+count and the efficiency↔skew slider from flags, sample, and print the
+marginal histograms and an optional aggregate query answer.
+
+Examples
+--------
+Sample 200 vehicles with a balanced slider and show the ``make`` histogram::
+
+    hdsampler --samples 200 --attributes make color --histogram make
+
+Estimate the average price of used vehicles::
+
+    hdsampler --samples 300 --aggregate avg --measure price --where condition=used
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.hdsampler import HDSampler
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.database.limits import QueryBudget
+from repro.datasets.boolean import BooleanConfig, generate_boolean_table
+from repro.datasets.vehicles import VehiclesConfig, default_vehicles_ranking, generate_vehicles_table
+from repro.exceptions import ReproError
+from repro.frontend.dashboard import Dashboard
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="hdsampler",
+        description="Sample a (locally simulated) hidden database behind a web form interface.",
+    )
+    parser.add_argument("--dataset", choices=("vehicles", "boolean"), default="vehicles",
+                        help="which simulated hidden database to sample")
+    parser.add_argument("--rows", type=int, default=5000, help="size of the simulated database")
+    parser.add_argument("--top-k", type=int, default=100, dest="top_k",
+                        help="top-k display limit of the simulated interface")
+    parser.add_argument("--samples", type=int, default=100, help="number of samples to collect")
+    parser.add_argument("--attributes", nargs="*", default=None,
+                        help="restrict sampling to these attributes")
+    parser.add_argument("--where", nargs="*", default=[], metavar="ATTR=VALUE",
+                        help="fixed value bindings, e.g. condition=used")
+    parser.add_argument("--tradeoff", type=float, default=0.5,
+                        help="efficiency/skew slider: 0 = lowest skew, 1 = highest efficiency")
+    parser.add_argument("--algorithm", choices=[a.value for a in SamplerAlgorithm],
+                        default=SamplerAlgorithm.RANDOM_WALK.value,
+                        help="candidate-generation algorithm")
+    parser.add_argument("--no-history", action="store_true",
+                        help="disable the query-history optimisation")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="per-client query budget of the interface (default: unlimited)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--histogram", nargs="*", default=None,
+                        help="attributes whose sampled histograms to print (default: first two)")
+    parser.add_argument("--aggregate", choices=("count", "sum", "avg"), default=None,
+                        help="also answer one aggregate query from the samples")
+    parser.add_argument("--measure", default=None,
+                        help="measure attribute for --aggregate sum/avg (e.g. price)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a progress line every 10 accepted samples")
+    return parser
+
+
+def _parse_bindings(pairs: Sequence[str]) -> dict[str, object]:
+    bindings: dict[str, object] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name or not value:
+            raise ReproError(f"--where expects ATTR=VALUE, got {pair!r}")
+        bindings[name] = _coerce(value)
+    return bindings
+
+
+def _coerce(text: str) -> object:
+    lowered = text.lower()
+    if lowered in {"true", "false"}:
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _build_interface(args: argparse.Namespace) -> HiddenDatabaseInterface:
+    budget = QueryBudget(limit=args.budget) if args.budget is not None else QueryBudget()
+    count_mode = (
+        CountMode.EXACT
+        if args.algorithm == SamplerAlgorithm.COUNT_AIDED.value
+        else CountMode.NONE
+    )
+    if args.dataset == "vehicles":
+        table = generate_vehicles_table(VehiclesConfig(n_rows=args.rows, seed=args.seed))
+        ranking = default_vehicles_ranking()
+        return HiddenDatabaseInterface(
+            table, k=args.top_k, ranking=ranking, count_mode=count_mode,
+            budget=budget, display_columns=("title",), seed=args.seed,
+        )
+    table = generate_boolean_table(BooleanConfig(n_rows=args.rows, n_attributes=8, seed=args.seed))
+    return HiddenDatabaseInterface(
+        table, k=args.top_k, count_mode=count_mode, budget=budget, seed=args.seed
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``hdsampler`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        interface = _build_interface(args)
+        config = HDSamplerConfig(
+            n_samples=args.samples,
+            attributes=tuple(args.attributes) if args.attributes else None,
+            bindings=_parse_bindings(args.where),
+            tradeoff=TradeoffSlider(args.tradeoff),
+            algorithm=SamplerAlgorithm(args.algorithm),
+            use_history=not args.no_history,
+            seed=args.seed,
+        )
+        sampler = HDSampler(interface, config)
+        histogram_attributes = (
+            tuple(args.histogram) if args.histogram else sampler.schema.attribute_names[:2]
+        )
+        dashboard = Dashboard(
+            sampler,
+            histogram_attributes=histogram_attributes,
+            printer=print if args.progress else None,
+            print_every=10 if args.progress else 0,
+        )
+        print(config.describe())
+        print()
+        result = sampler.run()
+        print(dashboard.render_progress_line())
+        print()
+        for attribute in histogram_attributes:
+            print(result.render_histogram(attribute))
+            print()
+        if args.aggregate is not None:
+            estimate = result.aggregate(args.aggregate, measure_attribute=args.measure)
+            print(estimate)
+            print()
+        summary = result.summary()
+        print(
+            f"state={summary['state']}  samples={summary['samples']}  "
+            f"queries={summary['queries_issued']}  "
+            f"queries/sample={summary['queries_per_sample']:.1f}"
+        )
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module executable
+    sys.exit(main())

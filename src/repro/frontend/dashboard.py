@@ -1,0 +1,97 @@
+"""A text dashboard of an incremental sampling run.
+
+The demo front end uses AJAX so users see "seamless updates to the sampling
+procedure" (Section 3.5): a progress indicator, the most recently collected
+samples, and the histograms growing as samples arrive.  :class:`Dashboard`
+renders the same information as text.  It registers itself as a progress
+callback on an :class:`~repro.core.hdsampler.HDSampler` and keeps the latest
+snapshot; callers decide when (and whether) to print it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.report import render_histogram, render_table
+from repro.core.hdsampler import HDSampler
+from repro.core.session import ProgressEvent
+
+
+class Dashboard:
+    """Collects progress events and renders live run status as text."""
+
+    def __init__(
+        self,
+        sampler: HDSampler,
+        recent_samples: int = 5,
+        histogram_attributes: Sequence[str] | None = None,
+        printer: Callable[[str], None] | None = None,
+        print_every: int = 0,
+    ) -> None:
+        if recent_samples < 0:
+            raise ValueError("recent_samples must be non-negative")
+        self._sampler = sampler
+        self._recent_limit = recent_samples
+        self._histogram_attributes = (
+            tuple(histogram_attributes)
+            if histogram_attributes is not None
+            else sampler.schema.attribute_names[:2]
+        )
+        self._printer = printer
+        self._print_every = print_every
+        self._recent: list[SampleRecord] = []
+        self.last_event: ProgressEvent | None = None
+        sampler.on_progress(self._on_progress)
+
+    # -- progress handling -----------------------------------------------------------
+
+    def _on_progress(self, event: ProgressEvent) -> None:
+        self.last_event = event
+        if event.last_sample is not None:
+            self._recent.append(event.last_sample)
+            if len(self._recent) > self._recent_limit:
+                self._recent.pop(0)
+        if self._printer is not None and self._print_every > 0:
+            if event.samples_collected % self._print_every == 0 and event.last_sample is not None:
+                self._printer(self.render_progress_line())
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def render_progress_line(self) -> str:
+        """One-line progress summary (the progress bar of the web UI)."""
+        event = self.last_event
+        if event is None:
+            return "sampling not started"
+        bar_width = 20
+        filled = int(round(bar_width * event.fraction_done))
+        bar = "#" * filled + "." * (bar_width - filled)
+        return (
+            f"[{bar}] {event.samples_collected}/{event.samples_requested} samples, "
+            f"{event.queries_issued} queries, state={event.state.value}"
+        )
+
+    def render_recent_samples(self) -> str:
+        """Table of the most recently collected samples."""
+        if not self._recent:
+            return "no samples collected yet"
+        attributes = self._sampler.schema.attribute_names
+        rows = []
+        for sample in self._recent:
+            rows.append([str(sample.selectable_values.get(name, "")) for name in attributes])
+        return render_table(list(attributes), rows)
+
+    def render_histograms(self, width: int = 30) -> str:
+        """Current histograms of the dashboard's chosen attributes."""
+        output = self._sampler.session.output
+        sections = [
+            render_histogram(output.histogram(name), width=width)
+            for name in self._histogram_attributes
+        ]
+        return "\n\n".join(sections)
+
+    def render(self) -> str:
+        """Full dashboard: progress, recent samples, histograms."""
+        return "\n\n".join(
+            [self.render_progress_line(), self.render_recent_samples(), self.render_histograms()]
+        )

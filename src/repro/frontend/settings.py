@@ -1,0 +1,157 @@
+"""The settings page of the front end (paper Figure 3), as a mutable builder.
+
+"To begin with, the users have the leeway to add and remove attribute and
+their value bindings and point HDSampler to either the whole dataset or to a
+specific selection of attributes.  The required number of samples can also be
+specified."  (paper Section 3.1)
+
+:class:`FrontEndSettings` is that page: it validates every change against the
+data source's schema immediately (the web form would grey out invalid
+options) and produces an immutable :class:`~repro.core.config.HDSamplerConfig`
+when the analyst presses "start".
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.schema import Schema, Value
+from repro.exceptions import ConfigurationError
+
+
+class FrontEndSettings:
+    """Mutable sampler settings bound to one data source's schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._selected_attributes: list[str] = list(schema.attribute_names)
+        self._bindings: dict[str, Value] = {}
+        self._n_samples = 100
+        self._slider = TradeoffSlider.balanced()
+        self._algorithm = SamplerAlgorithm.RANDOM_WALK
+        self._use_history = True
+        self._seed: int | None = 0
+
+    # -- attribute selection ------------------------------------------------------
+
+    @property
+    def selected_attributes(self) -> tuple[str, ...]:
+        """Attributes currently selected for sampling, in schema order."""
+        return tuple(self._selected_attributes)
+
+    def select_attribute(self, name: str) -> None:
+        """Add ``name`` to the attributes being sampled."""
+        self.schema.attribute(name)
+        if name in self._bindings:
+            raise ConfigurationError(
+                f"attribute {name!r} has a fixed value binding; remove it before selecting"
+            )
+        if name not in self._selected_attributes:
+            self._selected_attributes.append(name)
+            self._selected_attributes.sort(key=self.schema.attribute_names.index)
+
+    def deselect_attribute(self, name: str) -> None:
+        """Remove ``name`` from the attributes being sampled."""
+        self.schema.attribute(name)
+        if name in self._selected_attributes:
+            self._selected_attributes.remove(name)
+        if not self._selected_attributes:
+            raise ConfigurationError("at least one attribute must stay selected")
+
+    def select_only(self, *names: str) -> None:
+        """Replace the selection with exactly ``names``."""
+        if not names:
+            raise ConfigurationError("select_only needs at least one attribute")
+        for name in names:
+            self.schema.attribute(name)
+            if name in self._bindings:
+                raise ConfigurationError(
+                    f"attribute {name!r} has a fixed value binding; remove it before selecting"
+                )
+        self._selected_attributes = sorted(set(names), key=self.schema.attribute_names.index)
+
+    # -- value bindings -------------------------------------------------------------
+
+    @property
+    def bindings(self) -> dict[str, Value]:
+        """Fixed value bindings currently in force."""
+        return dict(self._bindings)
+
+    def bind_value(self, attribute: str, value: Value) -> None:
+        """Fix ``attribute = value`` on every issued query."""
+        spec = self.schema.attribute(attribute)
+        if value not in spec.domain:
+            raise ConfigurationError(
+                f"value {value!r} is not selectable for attribute {attribute!r}"
+            )
+        self._bindings[attribute] = value
+        if attribute in self._selected_attributes:
+            self._selected_attributes.remove(attribute)
+        if not self._selected_attributes:
+            raise ConfigurationError("at least one attribute must stay selectable after binding")
+
+    def unbind_value(self, attribute: str) -> None:
+        """Remove the fixed binding on ``attribute`` (and re-select it)."""
+        if attribute not in self._bindings:
+            raise ConfigurationError(f"attribute {attribute!r} has no binding to remove")
+        del self._bindings[attribute]
+        self.select_attribute(attribute)
+
+    # -- run parameters -----------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """The required number of samples."""
+        return self._n_samples
+
+    def set_sample_count(self, n_samples: int) -> None:
+        """Set the required number of samples."""
+        if n_samples <= 0:
+            raise ConfigurationError("the sample count must be positive")
+        self._n_samples = n_samples
+
+    @property
+    def slider(self) -> TradeoffSlider:
+        """Current efficiency↔skew slider position."""
+        return self._slider
+
+    def set_tradeoff(self, position: float) -> None:
+        """Move the efficiency↔skew slider to ``position``."""
+        self._slider = TradeoffSlider(position)
+
+    def set_algorithm(self, algorithm: SamplerAlgorithm | str) -> None:
+        """Pick the candidate-generation algorithm."""
+        if isinstance(algorithm, str):
+            algorithm = SamplerAlgorithm(algorithm)
+        self._algorithm = algorithm
+
+    def set_history_enabled(self, enabled: bool) -> None:
+        """Enable or disable the query-history optimisation."""
+        self._use_history = bool(enabled)
+
+    def set_seed(self, seed: int | None) -> None:
+        """Set the random seed of the run."""
+        self._seed = seed
+
+    # -- building the configuration ---------------------------------------------------------
+
+    def build_config(self) -> HDSamplerConfig:
+        """Freeze the current settings into an immutable configuration."""
+        selected = tuple(self._selected_attributes)
+        all_unbound = tuple(
+            name for name in self.schema.attribute_names if name not in self._bindings
+        )
+        attributes = None if selected == all_unbound else selected
+        return HDSamplerConfig(
+            n_samples=self._n_samples,
+            attributes=attributes,
+            bindings=dict(self._bindings),
+            tradeoff=self._slider,
+            algorithm=self._algorithm,
+            use_history=self._use_history,
+            seed=self._seed,
+        )
+
+    def describe(self) -> str:
+        """Render the settings page as text."""
+        return self.build_config().describe()

@@ -1,0 +1,281 @@
+"""Parsing the hidden web site's HTML pages back into structured data.
+
+This is the scraper half of the web path.  It relies only on the standard
+library :class:`html.parser.HTMLParser` (the environment has no network and
+no BeautifulSoup), but the parsing problems are the same: discover the form
+and its fields, read drop-down options, find the result table, detect the
+overflow notice and the approximate count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.exceptions import FormParseError
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One ``<select>`` field of the search form."""
+
+    name: str
+    options: tuple[str, ...]
+    label: str = ""
+
+    @property
+    def selectable_options(self) -> tuple[str, ...]:
+        """Options excluding the empty "any" choice."""
+        return tuple(option for option in self.options if option != "")
+
+
+@dataclass(frozen=True)
+class FormDescription:
+    """Everything a client learns from the form page."""
+
+    action: str
+    method: str
+    fields: tuple[FormField, ...]
+    top_k: int | None
+    schema_name: str | None
+
+    def field(self, name: str) -> FormField:
+        """Return the field called ``name`` or raise :class:`FormParseError`."""
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise FormParseError(f"form has no field named {name!r}")
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """Names of all form fields, in page order."""
+        return tuple(f.name for f in self.fields)
+
+
+@dataclass(frozen=True)
+class ParsedResultRow:
+    """One row of the result table, as text values keyed by column name."""
+
+    tuple_id: int
+    values: dict[str, str]
+
+
+@dataclass(frozen=True)
+class ParsedResultPage:
+    """Structured view of a result page."""
+
+    rows: tuple[ParsedResultRow, ...]
+    overflow: bool
+    reported_count: int | None
+    empty: bool
+    columns: tuple[str, ...]
+    top_k: int | None
+
+
+class _FormPageParser(HTMLParser):
+    """Stateful HTML parser extracting the search form description."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.action: str | None = None
+        self.method: str = "get"
+        self.top_k: int | None = None
+        self.schema_name: str | None = None
+        self.fields: list[FormField] = []
+        self._labels: dict[str, str] = {}
+        self._current_label_for: str | None = None
+        self._current_label_text: list[str] = []
+        self._in_form = False
+        self._current_select: str | None = None
+        self._current_select_id: str | None = None
+        self._current_options: list[str] = []
+        self._select_ids: dict[str, str] = {}
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = {key: (value or "") for key, value in attrs}
+        if tag == "meta":
+            if attributes.get("name") == "hd-top-k":
+                try:
+                    self.top_k = int(attributes.get("content", ""))
+                except ValueError:
+                    self.top_k = None
+            elif attributes.get("name") == "hd-schema":
+                self.schema_name = attributes.get("content") or None
+        elif tag == "form":
+            self._in_form = True
+            self.action = attributes.get("action", "")
+            self.method = (attributes.get("method") or "get").lower()
+        elif tag == "label":
+            self._current_label_for = attributes.get("for")
+            self._current_label_text = []
+        elif tag == "select" and self._in_form:
+            name = attributes.get("name")
+            if not name:
+                raise FormParseError("form contains a <select> without a name attribute")
+            self._current_select = name
+            self._current_select_id = attributes.get("id")
+            self._current_options = []
+        elif tag == "option" and self._current_select is not None:
+            self._current_options.append(attributes.get("value", ""))
+
+    def handle_data(self, data: str) -> None:
+        if self._current_label_for is not None:
+            self._current_label_text.append(data)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "label" and self._current_label_for is not None:
+            self._labels[self._current_label_for] = "".join(self._current_label_text).strip()
+            self._current_label_for = None
+            self._current_label_text = []
+        elif tag == "select" and self._current_select is not None:
+            label = ""
+            if self._current_select_id is not None:
+                label = self._labels.get(self._current_select_id, "")
+            self.fields.append(
+                FormField(name=self._current_select, options=tuple(self._current_options), label=label)
+            )
+            self._current_select = None
+            self._current_select_id = None
+            self._current_options = []
+        elif tag == "form":
+            self._in_form = False
+
+
+class _ResultPageParser(HTMLParser):
+    """Stateful HTML parser extracting the result table and notices."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.overflow = False
+        self.empty = False
+        self.reported_count: int | None = None
+        self.top_k: int | None = None
+        self.columns: list[str] = []
+        self.rows: list[ParsedResultRow] = []
+        self._in_count = False
+        self._count_text: list[str] = []
+        self._in_results_table = False
+        self._in_head_row = False
+        self._in_body = False
+        self._current_row_id: int | None = None
+        self._current_cells: list[str] = []
+        self._current_cell_text: list[str] = []
+        self._in_cell = False
+        self._in_header_cell = False
+        self._current_header_text: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = {key: (value or "") for key, value in attrs}
+        classes = attributes.get("class", "").split()
+        if tag == "meta" and attributes.get("name") == "hd-top-k":
+            try:
+                self.top_k = int(attributes.get("content", ""))
+            except ValueError:
+                self.top_k = None
+        elif tag == "p":
+            if "hd-overflow" in classes:
+                self.overflow = True
+            if "hd-empty" in classes:
+                self.empty = True
+            if "hd-count" in classes:
+                self._in_count = True
+                self._count_text = []
+        elif tag == "table" and "hd-results" in classes:
+            self._in_results_table = True
+        elif self._in_results_table and tag == "thead":
+            self._in_head_row = True
+        elif self._in_results_table and tag == "tbody":
+            self._in_body = True
+        elif self._in_results_table and tag == "th" and self._in_head_row:
+            self._in_header_cell = True
+            self._current_header_text = []
+        elif self._in_results_table and self._in_body and tag == "tr":
+            row_id_text = attributes.get("data-tuple-id", "")
+            try:
+                self._current_row_id = int(row_id_text)
+            except ValueError:
+                raise FormParseError(f"result row has a non-integer tuple id: {row_id_text!r}")
+            self._current_cells = []
+        elif self._in_results_table and self._in_body and tag == "td":
+            self._in_cell = True
+            self._current_cell_text = []
+
+    def handle_data(self, data: str) -> None:
+        if self._in_count:
+            self._count_text.append(data)
+        if self._in_cell:
+            self._current_cell_text.append(data)
+        if self._in_header_cell:
+            self._current_header_text.append(data)
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "p" and self._in_count:
+            self._in_count = False
+            self.reported_count = _extract_count("".join(self._count_text))
+        elif tag == "th" and self._in_header_cell:
+            self.columns.append("".join(self._current_header_text).strip())
+            self._in_header_cell = False
+        elif tag == "thead":
+            self._in_head_row = False
+        elif tag == "td" and self._in_cell:
+            self._current_cells.append("".join(self._current_cell_text).strip())
+            self._in_cell = False
+        elif tag == "tr" and self._in_body and self._current_row_id is not None:
+            values = dict(zip(self.columns[1:], self._current_cells[1:]))
+            self.rows.append(ParsedResultRow(tuple_id=self._current_row_id, values=values))
+            self._current_row_id = None
+            self._current_cells = []
+        elif tag == "tbody":
+            self._in_body = False
+        elif tag == "table":
+            self._in_results_table = False
+
+
+def _extract_count(text: str) -> int | None:
+    """Pull the integer out of a count notice like ``About 1234 results``."""
+    digits = "".join(ch for ch in text if ch.isdigit())
+    if not digits:
+        return None
+    return int(digits)
+
+
+def parse_form_page(html_text: str) -> FormDescription:
+    """Parse a form page into a :class:`FormDescription`.
+
+    Raises :class:`~repro.exceptions.FormParseError` when the page contains no
+    form or the form has no fields — a scraper pointed at the wrong URL.
+    """
+    parser = _FormPageParser()
+    parser.feed(html_text)
+    parser.close()
+    if parser.action is None:
+        raise FormParseError("page contains no <form>")
+    if not parser.fields:
+        raise FormParseError("search form has no <select> fields")
+    return FormDescription(
+        action=parser.action,
+        method=parser.method,
+        fields=tuple(parser.fields),
+        top_k=parser.top_k,
+        schema_name=parser.schema_name,
+    )
+
+
+def parse_result_page(html_text: str) -> ParsedResultPage:
+    """Parse a result page into rows, overflow flag and reported count."""
+    parser = _ResultPageParser()
+    parser.feed(html_text)
+    parser.close()
+    if not parser.empty and not parser.rows and not parser.overflow and parser.reported_count is None:
+        # A page with neither a results table nor an explicit empty marker is
+        # not a result page at all; refuse to guess.
+        if not parser.columns:
+            raise FormParseError("page does not look like a result page")
+    return ParsedResultPage(
+        rows=tuple(parser.rows),
+        overflow=parser.overflow,
+        reported_count=parser.reported_count,
+        empty=parser.empty or not parser.rows,
+        columns=tuple(parser.columns),
+        top_k=parser.top_k,
+    )

@@ -1,0 +1,141 @@
+"""HTML rendering of the hidden web site's pages.
+
+Two page kinds exist, matching what a scraper sees on a real conjunctive
+web form site:
+
+* the **form page** — a ``<form>`` with one ``<select>`` per searchable
+  attribute (the "any" option means no predicate on that attribute), plus
+  metadata about the top-``k`` limit;
+* the **result page** — a table of the displayed tuples, an overflow notice
+  when not all matches are shown, and optionally an (approximate) match count.
+
+The markup is deliberately plain but *real* HTML: the client parses it with
+:mod:`html.parser`, so the round-trip exercises the same parsing problems a
+``requests`` + ``BeautifulSoup`` scraper faces (escaping, attribute quoting,
+optional elements).
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Sequence
+
+from repro.database.interface import ReturnedTuple
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import Schema, Value
+
+#: CSS class names used as parsing anchors, mirroring how scrapers key off
+#: site-specific markup.
+RESULT_TABLE_CLASS = "hd-results"
+OVERFLOW_NOTICE_CLASS = "hd-overflow"
+COUNT_CLASS = "hd-count"
+EMPTY_CLASS = "hd-empty"
+ANY_VALUE = ""  # the <option value=""> meaning "any"
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def render_form_page(schema: Schema, action: str = "/results", k: int | None = None, title: str | None = None) -> str:
+    """Render the search form page for ``schema``.
+
+    Each searchable attribute becomes a ``<select>`` whose first option is the
+    empty "any" choice; the remaining options enumerate the attribute's domain
+    in order.  The top-``k`` limit, when given, is advertised in a meta tag so
+    a client can configure itself from the page alone.
+    """
+    page_title = escape(title or f"Search {schema.name}")
+    lines = [
+        "<!DOCTYPE html>",
+        "<html>",
+        "<head>",
+        f"<title>{page_title}</title>",
+    ]
+    if k is not None:
+        lines.append(f'<meta name="hd-top-k" content="{int(k)}">')
+    lines.append(f'<meta name="hd-schema" content="{escape(schema.name)}">')
+    lines.extend(["</head>", "<body>", f"<h1>{page_title}</h1>"])
+    lines.append(f'<form method="get" action="{escape(action, quote=True)}" id="search-form">')
+    for attribute in schema:
+        field_id = f"field-{attribute.name}"
+        lines.append(f'<label for="{escape(field_id, quote=True)}">{escape(attribute.name)}</label>')
+        lines.append(
+            f'<select name="{escape(attribute.name, quote=True)}" id="{escape(field_id, quote=True)}">'
+        )
+        lines.append(f'<option value="{ANY_VALUE}">any</option>')
+        for value in attribute.domain.values:
+            text = _format_value(value)
+            lines.append(f'<option value="{escape(text, quote=True)}">{escape(text)}</option>')
+        lines.append("</select>")
+    lines.append('<input type="submit" name="submit" value="Search">')
+    lines.append("</form>")
+    lines.extend(["</body>", "</html>"])
+    return "\n".join(lines)
+
+
+def render_result_page(
+    schema: Schema,
+    query: ConjunctiveQuery,
+    tuples: Sequence[ReturnedTuple],
+    overflow: bool,
+    reported_count: int | None,
+    k: int,
+    display_columns: Sequence[str] = (),
+) -> str:
+    """Render the result page for one submitted query.
+
+    The page contains, in order: the echoed query, an optional count line, an
+    overflow notice when the top-``k`` cut was applied (the paper's
+    "interface will also notify the user that there is an overflow"), and a
+    table with one row per displayed tuple.  An empty result renders an
+    explicit "no results" marker rather than an empty table, as real sites do.
+    """
+    columns: list[str] = list(schema.attribute_names)
+    for column in display_columns:
+        if column not in columns:
+            columns.append(column)
+    lines = [
+        "<!DOCTYPE html>",
+        "<html>",
+        "<head>",
+        f"<title>Results: {escape(schema.name)}</title>",
+        f'<meta name="hd-top-k" content="{int(k)}">',
+        "</head>",
+        "<body>",
+        f'<p class="hd-query">{escape(str(query))}</p>',
+    ]
+    if reported_count is not None:
+        lines.append(
+            f'<p class="{COUNT_CLASS}">About <span class="hd-count-value">{int(reported_count)}</span> results</p>'
+        )
+    if overflow:
+        lines.append(
+            f'<p class="{OVERFLOW_NOTICE_CLASS}">Showing the top {int(k)} results; '
+            "refine your search to see more.</p>"
+        )
+    if not tuples:
+        lines.append(f'<p class="{EMPTY_CLASS}">No results matched your search.</p>')
+    else:
+        lines.append(f'<table class="{RESULT_TABLE_CLASS}">')
+        lines.append("<thead><tr>")
+        lines.append('<th data-column="__id__">id</th>')
+        for column in columns:
+            lines.append(f'<th data-column="{escape(column, quote=True)}">{escape(column)}</th>')
+        lines.append("</tr></thead>")
+        lines.append("<tbody>")
+        for returned in tuples:
+            lines.append(f'<tr data-tuple-id="{int(returned.tuple_id)}">')
+            lines.append(f"<td>{int(returned.tuple_id)}</td>")
+            for column in columns:
+                value = returned.values.get(column, "")
+                lines.append(f"<td>{escape(_format_value(value))}</td>")
+            lines.append("</tr>")
+        lines.append("</tbody>")
+        lines.append("</table>")
+    lines.extend(["</body>", "</html>"])
+    return "\n".join(lines)

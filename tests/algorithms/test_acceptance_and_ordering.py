@@ -1,0 +1,117 @@
+"""Unit tests for acceptance–rejection policies and attribute orderings."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.acceptance_rejection import (
+    AcceptAllPolicy,
+    ScaledAcceptancePolicy,
+    UniformAcceptancePolicy,
+    expected_acceptance_rate,
+    maximum_selection_probability,
+    minimum_selection_probability,
+    scale_for_tradeoff,
+)
+from repro.algorithms.base import Candidate, WalkTrace
+from repro.algorithms.ordering import CardinalityAwareOrdering, FixedOrdering, RandomOrdering
+from repro.exceptions import ConfigurationError
+
+
+def _candidate(probability: float) -> Candidate:
+    return Candidate(
+        tuple_id=0,
+        values={},
+        selectable_values={},
+        selection_probability=probability,
+        trace=WalkTrace(steps=(), attribute_order=()),
+        source="test",
+    )
+
+
+class TestPolicies:
+    def test_accept_all_policy(self):
+        assert AcceptAllPolicy().acceptance_probability(_candidate(0.001)) == 1.0
+
+    def test_scaled_policy_is_min_of_one_and_ratio(self):
+        policy = ScaledAcceptancePolicy(scale=0.01)
+        assert policy.acceptance_probability(_candidate(0.1)) == pytest.approx(0.1)
+        assert policy.acceptance_probability(_candidate(0.005)) == 1.0
+
+    def test_scaled_policy_handles_zero_probability_defensively(self):
+        assert ScaledAcceptancePolicy(0.1).acceptance_probability(_candidate(0.0)) == 1.0
+
+    def test_scaled_policy_requires_positive_scale(self):
+        with pytest.raises(ConfigurationError):
+            ScaledAcceptancePolicy(0.0)
+
+    def test_uniform_policy_never_caps(self, tiny_schema):
+        policy = UniformAcceptancePolicy(tiny_schema, k=2)
+        floor = minimum_selection_probability(tiny_schema, 2)
+        # Any achievable probability is >= the floor, so the ratio is <= 1.
+        assert policy.acceptance_probability(_candidate(floor)) == pytest.approx(1.0)
+        assert policy.acceptance_probability(_candidate(floor * 4)) == pytest.approx(0.25)
+
+    def test_policy_names(self, tiny_schema):
+        assert "ScaledAcceptancePolicy" in ScaledAcceptancePolicy(0.1).name
+
+
+class TestScaleMaths:
+    def test_minimum_selection_probability(self, tiny_schema):
+        # domains 3 * 2 * 3 = 18 leaves, k = 2 -> 1 / 36
+        assert minimum_selection_probability(tiny_schema, 2) == pytest.approx(1.0 / 36.0)
+        with pytest.raises(ConfigurationError):
+            minimum_selection_probability(tiny_schema, 0)
+
+    def test_maximum_selection_probability(self, tiny_schema):
+        assert maximum_selection_probability(tiny_schema) == pytest.approx(0.5)
+
+    def test_scale_for_tradeoff_endpoints_and_monotonicity(self, tiny_schema):
+        low = scale_for_tradeoff(tiny_schema, 2, 0.0)
+        mid = scale_for_tradeoff(tiny_schema, 2, 0.5)
+        high = scale_for_tradeoff(tiny_schema, 2, 1.0)
+        assert low == pytest.approx(minimum_selection_probability(tiny_schema, 2))
+        assert high == 1.0
+        assert low < mid < high
+        # Log-linear: the midpoint is the geometric mean of the endpoints.
+        assert mid == pytest.approx(math.sqrt(low * high))
+
+    def test_scale_for_tradeoff_validates_position(self, tiny_schema):
+        with pytest.raises(ConfigurationError):
+            scale_for_tradeoff(tiny_schema, 2, 1.5)
+
+    def test_expected_acceptance_rate(self):
+        assert expected_acceptance_rate(0.1, []) == 0.0
+        rate = expected_acceptance_rate(0.05, [0.1, 0.05, 0.01])
+        assert rate == pytest.approx((0.5 + 1.0 + 1.0) / 3)
+
+
+class TestOrderings:
+    def test_fixed_ordering_defaults_to_schema_order(self, tiny_schema):
+        ordering = FixedOrdering()
+        assert ordering.order_for_walk(tiny_schema, random.Random(0)) == tiny_schema.attribute_names
+
+    def test_fixed_ordering_accepts_explicit_permutation(self, tiny_schema):
+        ordering = FixedOrdering(("price", "make", "color"))
+        assert ordering.order_for_walk(tiny_schema, random.Random(0)) == ("price", "make", "color")
+
+    def test_fixed_ordering_rejects_non_permutations(self, tiny_schema):
+        with pytest.raises(ConfigurationError):
+            FixedOrdering(("make",)).order_for_walk(tiny_schema, random.Random(0))
+
+    def test_random_ordering_is_a_permutation_and_varies(self, tiny_schema):
+        ordering = RandomOrdering()
+        rng = random.Random(0)
+        orders = {ordering.order_for_walk(tiny_schema, rng) for _ in range(30)}
+        assert all(set(order) == set(tiny_schema.attribute_names) for order in orders)
+        assert len(orders) > 1
+
+    def test_cardinality_aware_ordering_sorts_by_domain_size(self, tiny_schema):
+        ordering = CardinalityAwareOrdering()
+        order = ordering.order_for_walk(tiny_schema, random.Random(0))
+        cardinalities = [tiny_schema.attribute(name).cardinality for name in order]
+        assert cardinalities == sorted(cardinalities)
+        descending = CardinalityAwareOrdering(ascending=False)
+        order_desc = descending.order_for_walk(tiny_schema, random.Random(0))
+        assert [tiny_schema.attribute(n).cardinality for n in order_desc] == sorted(cardinalities, reverse=True)

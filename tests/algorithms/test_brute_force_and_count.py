@@ -1,0 +1,125 @@
+"""Unit tests for BRUTE-FORCE-SAMPLER and the count-aided sampler."""
+
+import collections
+
+import pytest
+
+from repro.algorithms.brute_force import BruteForceSampler
+from repro.algorithms.count_based import CountAidedSampler
+from repro.algorithms.ordering import FixedOrdering
+from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+from repro.exceptions import SamplingError
+
+
+class TestBruteForce:
+    def test_selection_probability_is_uniform_over_leaves(self, figure1_interface):
+        sampler = BruteForceSampler(figure1_interface, seed=0)
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        # 8 leaves, distinct tuples, k = 1 -> every candidate has probability 1/8.
+        assert candidate.selection_probability == pytest.approx(1.0 / 8.0)
+
+    def test_acceptance_probability_scales_with_page_size(self, tiny_interface):
+        sampler = BruteForceSampler(tiny_interface, seed=1)
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        returned = candidate.trace.steps[-1].returned_count
+        assert sampler.acceptance_probability(candidate) == pytest.approx(returned / 2.0)
+
+    def test_every_attempt_costs_exactly_one_query(self, figure1_interface):
+        sampler = BruteForceSampler(figure1_interface, seed=2)
+        before = sampler.report.queries_issued
+        sampler.draw_candidate()
+        assert sampler.report.queries_issued == before + 1
+
+    def test_sampling_figure1_is_close_to_uniform(self, figure1):
+        """Long-run frequencies over the 4 tuples should be roughly equal."""
+        interface = HiddenDatabaseInterface(figure1, k=1, seed=0)
+        sampler = BruteForceSampler(interface, seed=3)
+        samples = sampler.draw_samples(400, max_attempts=50_000)
+        counts = collections.Counter(sample.tuple_id for sample in samples)
+        assert set(counts) == {0, 1, 2, 3}
+        frequencies = [counts[i] / len(samples) for i in range(4)]
+        assert max(frequencies) - min(frequencies) < 0.12
+
+    def test_failed_probes_are_recorded(self, figure1_interface):
+        sampler = BruteForceSampler(figure1_interface, seed=4)
+        for _ in range(40):
+            sampler.draw_candidate()
+        # Figure 1 has 4 tuples over 8 leaves, so about half the probes fail.
+        assert sampler.report.failed_walks > 0
+
+
+class TestCountAided:
+    @pytest.fixture()
+    def skewed_interface(self):
+        # k is large enough that fully-specified queries never overflow, which
+        # is the regime where count-aided drill-down is exactly uniform.
+        table = generate_categorical_table(
+            CategoricalConfig(n_rows=600, cardinalities=(5, 4, 3), skew=1.0, seed=5)
+        )
+        return table, HiddenDatabaseInterface(table, k=100, count_mode=CountMode.EXACT, seed=0)
+
+    def test_exact_counts_give_exactly_uniform_selection_probabilities(self, skewed_interface):
+        table, interface = skewed_interface
+        sampler = CountAidedSampler(interface, seed=1)
+        samples = sampler.draw_samples(25)
+        assert len(samples) == 25
+        for sample in samples:
+            assert sample.selection_probability == pytest.approx(1.0 / len(table), rel=1e-9)
+            assert sample.acceptance_probability == 1.0
+
+    def test_estimated_total_matches_table_size_with_exact_counts(self, skewed_interface):
+        table, interface = skewed_interface
+        sampler = CountAidedSampler(interface, seed=2)
+        sampler.draw_samples(5)
+        assert sampler.estimated_total == pytest.approx(len(table))
+
+    def test_queries_per_walk_equals_sum_of_domain_sizes_along_the_path(self, skewed_interface):
+        _, interface = skewed_interface
+        sampler = CountAidedSampler(interface, ordering=FixedOrdering(), seed=3)
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        # The walk queried every child at each level it visited: the per-level
+        # domain sizes are 5, 4, 3 in fixed order.
+        levels = len({len(step.query) for step in candidate.trace.steps})
+        expected = sum((5, 4, 3)[:levels])
+        assert candidate.trace.queries_issued >= expected
+
+    def test_rejection_option_is_noop_with_exact_counts(self, skewed_interface):
+        _, interface = skewed_interface
+        sampler = CountAidedSampler(interface, use_rejection=True, seed=4)
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        assert sampler.acceptance_probability(candidate) == pytest.approx(1.0)
+
+    def test_count_free_interface_is_rejected(self, tiny_table):
+        interface = HiddenDatabaseInterface(tiny_table, k=2, count_mode=CountMode.NONE)
+        sampler = CountAidedSampler(interface, seed=5)
+        with pytest.raises(SamplingError):
+            sampler.draw_candidate()
+
+    def test_noisy_counts_still_produce_samples(self, tiny_table):
+        interface = HiddenDatabaseInterface(
+            tiny_table, k=2, count_mode=CountMode.NOISY, count_noise=0.4, seed=6
+        )
+        sampler = CountAidedSampler(interface, use_rejection=True, seed=7)
+        samples = sampler.draw_samples(10, max_attempts=500)
+        assert samples
+        # With noise the selection probabilities are only approximately 1/N.
+        for sample in samples:
+            assert 0.0 < sample.selection_probability < 1.0
+
+    def test_marginals_track_ground_truth(self, skewed_interface):
+        table, interface = skewed_interface
+        sampler = CountAidedSampler(interface, seed=8)
+        samples = sampler.draw_samples(300)
+        counts = collections.Counter(s.selectable_values["c1"] for s in samples)
+        truth = table.value_counts("c1")
+        top_true = max(truth, key=truth.get)
+        assert counts[top_true] == max(counts.values())

@@ -1,0 +1,151 @@
+"""Unit tests for the HIDDEN-DB-SAMPLER random walk."""
+
+import pytest
+
+from repro.algorithms.acceptance_rejection import AcceptAllPolicy, UniformAcceptancePolicy
+from repro.algorithms.ordering import FixedOrdering
+from repro.algorithms.random_walk import RandomWalkConfig, RandomWalkSampler
+from repro.database.interface import HiddenDatabaseInterface
+from repro.database.limits import QueryBudget
+from repro.datasets.boolean import BooleanConfig, generate_boolean_table
+from repro.exceptions import ConfigurationError
+
+
+class TestConfig:
+    def test_efficiency_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkConfig(efficiency=1.5)
+
+    def test_max_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkConfig(max_depth=0)
+
+
+class TestWalkMechanics:
+    def test_candidate_from_figure1(self, figure1_interface):
+        sampler = RandomWalkSampler(
+            figure1_interface,
+            config=RandomWalkConfig(efficiency=1.0),
+            ordering=FixedOrdering(),
+            seed=1,
+        )
+        candidates = []
+        for _ in range(50):
+            candidate = sampler.draw_candidate()
+            if candidate is not None:
+                candidates.append(candidate)
+        assert candidates, "at least one walk must succeed on Figure 1"
+        for candidate in candidates:
+            assert 0 < candidate.selection_probability <= 0.5
+            assert candidate.trace.queries_issued >= 1
+            assert candidate.source == "hidden-db-sampler"
+
+    def test_walk_selection_probability_reflects_depth_and_page_size(self, figure1_interface):
+        sampler = RandomWalkSampler(figure1_interface, ordering=FixedOrdering(), seed=7)
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        depth = len(candidate.trace.steps[-1].query)
+        returned = candidate.trace.steps[-1].returned_count
+        assert candidate.selection_probability == pytest.approx((0.5 ** depth) / returned)
+
+    def test_failed_walks_are_counted(self, tiny_interface):
+        # The tiny table has empty leaf combinations (e.g. a cheap Honda), so
+        # random drill-downs dead-end from time to time.
+        sampler = RandomWalkSampler(tiny_interface, seed=3)
+        for _ in range(100):
+            sampler.draw_candidate()
+        assert sampler.report.failed_walks > 0
+        assert sampler.report.queries_issued > 0
+
+    def test_probe_root_issues_the_unrestricted_query_first(self, tiny_interface):
+        sampler = RandomWalkSampler(
+            tiny_interface, config=RandomWalkConfig(probe_root=True), seed=0
+        )
+        candidate = None
+        for _ in range(50):
+            candidate = sampler.draw_candidate()
+            if candidate is not None:
+                break
+        assert candidate is not None
+        assert len(candidate.trace.steps[0].query) == 0
+
+    def test_max_depth_limits_the_walk(self, tiny_interface):
+        sampler = RandomWalkSampler(
+            tiny_interface, config=RandomWalkConfig(max_depth=1), seed=0
+        )
+        for _ in range(20):
+            candidate = sampler.draw_candidate()
+            if candidate is not None:
+                assert len(candidate.trace.steps[-1].query) <= 1
+
+    def test_draw_samples_respects_max_attempts(self, figure1_interface):
+        sampler = RandomWalkSampler(figure1_interface, seed=5)
+        samples = sampler.draw_samples(1_000, max_attempts=10)
+        assert len(samples) <= 10
+
+    def test_draw_samples_stops_when_budget_exhausted(self, figure1):
+        interface = HiddenDatabaseInterface(figure1, k=1, budget=QueryBudget(limit=10))
+        sampler = RandomWalkSampler(interface, seed=2)
+        samples = sampler.draw_samples(1_000)
+        assert interface.budget.issued <= 10
+        assert len(samples) < 1_000
+
+    def test_acceptance_policy_is_delegated(self, figure1_interface):
+        sampler = RandomWalkSampler(
+            figure1_interface, acceptance_policy=AcceptAllPolicy(), seed=1
+        )
+        candidate = None
+        while candidate is None:
+            candidate = sampler.draw_candidate()
+        assert sampler.acceptance_probability(candidate) == 1.0
+
+    def test_iter_samples_yields_incrementally(self, figure1_interface):
+        sampler = RandomWalkSampler(
+            figure1_interface, config=RandomWalkConfig(efficiency=1.0), seed=9
+        )
+        iterator = sampler.iter_samples(max_attempts=200)
+        first = next(iterator)
+        assert first.tuple_id in {0, 1, 2, 3}
+
+
+class TestCoverageAndUniformity:
+    def test_every_tuple_is_reachable_on_figure1(self, figure1_interface):
+        """All four tuples of Figure 1 must eventually appear in the samples."""
+        sampler = RandomWalkSampler(
+            figure1_interface,
+            config=RandomWalkConfig(efficiency=1.0),
+            seed=11,
+        )
+        seen = set()
+        for sample in sampler.iter_samples(max_attempts=3_000):
+            seen.add(sample.tuple_id)
+            if len(seen) == 4:
+                break
+        assert seen == {0, 1, 2, 3}
+
+    def test_uniform_policy_reduces_skew_versus_accept_all(self):
+        """With the uniform acceptance policy, sample frequencies of a skewed
+        boolean database track the true marginal more closely than with
+        accept-everything (the core claim of acceptance-rejection)."""
+        table = generate_boolean_table(
+            BooleanConfig(n_rows=300, n_attributes=4, distribution="zipf",
+                          probability=0.7, skew=1.2, seed=13)
+        )
+        interface_fast = HiddenDatabaseInterface(table, k=5, seed=0)
+        interface_uniform = HiddenDatabaseInterface(table, k=5, seed=0)
+        true_fraction = sum(1 for row in table if row["a1"]) / len(table)
+
+        fast = RandomWalkSampler(
+            interface_fast, acceptance_policy=AcceptAllPolicy(), seed=21
+        ).draw_samples(400, max_attempts=100_000)
+        uniform = RandomWalkSampler(
+            interface_uniform,
+            acceptance_policy=UniformAcceptancePolicy(table.schema, 5),
+            seed=21,
+        ).draw_samples(400, max_attempts=100_000)
+
+        assert len(fast) == 400 and len(uniform) == 400
+        fast_fraction = sum(1 for s in fast if s.selectable_values["a1"]) / len(fast)
+        uniform_fraction = sum(1 for s in uniform if s.selectable_values["a1"]) / len(uniform)
+        assert abs(uniform_fraction - true_fraction) <= abs(fast_fraction - true_fraction) + 0.02

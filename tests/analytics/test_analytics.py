@@ -1,0 +1,271 @@
+"""Unit tests for histograms, aggregate estimators, skew metrics and reports."""
+
+import math
+
+import pytest
+
+from repro.algorithms.base import SampleRecord, SamplerReport
+from repro.analytics.aggregates import (
+    estimate_average,
+    estimate_count,
+    estimate_proportion,
+    estimate_sum,
+)
+from repro.analytics.comparison import compare_marginals, compare_sample_sets
+from repro.analytics.efficiency import efficiency_summary, queries_for_target_samples
+from repro.analytics.histogram import (
+    Histogram,
+    histogram_from_counts,
+    histogram_from_samples,
+    histogram_from_table,
+)
+from repro.analytics.report import format_float, render_histogram, render_key_values, render_table
+from repro.analytics.skew import (
+    chi_square_statistic,
+    histogram_total_variation,
+    inclusion_probability_dispersion,
+    kl_divergence,
+    marginal_distance_report,
+    total_variation_distance,
+)
+from repro.exceptions import SamplingError
+
+
+def _sample(make: str, price: float, probability: float = 0.1, queries: int = 3) -> SampleRecord:
+    return SampleRecord(
+        tuple_id=hash((make, price)) % 1000,
+        values={"make": make, "price": price},
+        selectable_values={"make": make},
+        selection_probability=probability,
+        acceptance_probability=1.0,
+        queries_spent=queries,
+        source="test",
+    )
+
+
+SAMPLES = [
+    _sample("Toyota", 10_000.0),
+    _sample("Toyota", 12_000.0),
+    _sample("Honda", 14_000.0),
+    _sample("Ford", 30_000.0),
+]
+
+
+class TestHistogram:
+    def test_add_update_and_proportions(self):
+        histogram = Histogram("make", categories=("Toyota", "Honda"))
+        histogram.update(["Toyota", "Toyota", "Honda"])
+        assert histogram.total == 3
+        assert histogram.proportions() == {"Toyota": pytest.approx(2 / 3), "Honda": pytest.approx(1 / 3)}
+        assert histogram.proportion("Toyota") == pytest.approx(2 / 3)
+        assert histogram.count("Ford") == 0
+
+    def test_empty_histogram_proportions_are_zero(self):
+        histogram = Histogram("make", categories=("a", "b"))
+        assert histogram.proportions() == {"a": 0.0, "b": 0.0}
+        assert histogram.proportion("a") == 0.0
+
+    def test_negative_counts_are_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("make").add("x", -1)
+
+    def test_merge_requires_same_attribute(self):
+        a = Histogram("make")
+        a.add("Toyota")
+        b = Histogram("make")
+        b.add("Toyota")
+        b.add("Ford")
+        merged = a.merge(b)
+        assert merged.count("Toyota") == 2 and merged.count("Ford") == 1
+        with pytest.raises(ValueError):
+            a.merge(Histogram("color"))
+
+    def test_most_common(self):
+        histogram = histogram_from_samples(SAMPLES, "make")
+        assert histogram.most_common(1)[0][0] == "Toyota"
+        assert len(histogram.most_common()) == 3
+
+    def test_from_table_matches_value_counts(self, tiny_table):
+        histogram = histogram_from_table(tiny_table, "make")
+        assert histogram.count("Toyota") == 4
+        assert histogram.total == 8
+        # Categories with zero rows still appear for numeric/categorical domains.
+        assert set(histogram.values()) == {"Toyota", "Honda", "Ford"}
+
+    def test_from_counts(self):
+        histogram = histogram_from_counts("color", {"red": 3, "blue": 0})
+        assert histogram.total == 3
+        assert histogram.values() == ("red", "blue")
+
+    def test_equality(self):
+        a = Histogram("make")
+        a.add("x")
+        b = Histogram("make")
+        b.add("x")
+        assert a == b
+
+
+class TestAggregates:
+    def test_proportion_estimate(self):
+        estimate = estimate_proportion(SAMPLES, lambda s: s.values["make"] == "Toyota")
+        assert estimate.value == pytest.approx(0.5)
+        assert estimate.ci_low <= 0.5 <= estimate.ci_high
+        assert estimate.relative
+
+    def test_count_estimate_scales_with_population(self):
+        relative = estimate_count(SAMPLES, lambda s: s.values["make"] == "Toyota")
+        absolute = estimate_count(SAMPLES, lambda s: s.values["make"] == "Toyota", population_size=200)
+        assert relative.relative and not absolute.relative
+        assert absolute.value == pytest.approx(100.0)
+        assert absolute.stderr == pytest.approx(relative.stderr * 200)
+
+    def test_average_estimate(self):
+        estimate = estimate_average(SAMPLES, "price")
+        assert estimate.value == pytest.approx((10_000 + 12_000 + 14_000 + 30_000) / 4)
+        assert estimate.ci_low < estimate.value < estimate.ci_high
+
+    def test_average_with_condition(self):
+        estimate = estimate_average(SAMPLES, "price", lambda s: s.values["make"] == "Toyota")
+        assert estimate.value == pytest.approx(11_000.0)
+        assert estimate.n_matching == 2
+
+    def test_sum_estimate(self):
+        estimate = estimate_sum(SAMPLES, "price", population_size=8)
+        assert estimate.value == pytest.approx(8 * 16_500.0)
+
+    def test_empty_sample_sets_are_rejected(self):
+        with pytest.raises(SamplingError):
+            estimate_proportion([], lambda s: True)
+        with pytest.raises(SamplingError):
+            estimate_average([], "price")
+
+    def test_condition_matching_nothing_is_rejected_for_avg(self):
+        with pytest.raises(SamplingError):
+            estimate_average(SAMPLES, "price", lambda s: False)
+
+    def test_confidence_validation_and_interpolation(self):
+        with pytest.raises(SamplingError):
+            estimate_proportion(SAMPLES, lambda s: True, confidence=1.5)
+        wide = estimate_proportion(SAMPLES, lambda s: s.values["make"] == "Toyota", confidence=0.99)
+        narrow = estimate_proportion(SAMPLES, lambda s: s.values["make"] == "Toyota", confidence=0.80)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+        middle = estimate_proportion(SAMPLES, lambda s: True, confidence=0.93)
+        assert middle.stderr >= 0.0
+
+    def test_str_rendering(self):
+        text = str(estimate_average(SAMPLES, "price"))
+        assert "AVG" in text and "95%" in text
+
+
+class TestSkewMetrics:
+    def test_total_variation_identical_and_disjoint(self):
+        assert total_variation_distance({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5}) == 0.0
+        assert total_variation_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+    def test_total_variation_handles_missing_keys(self):
+        assert total_variation_distance({"a": 1.0}, {"a": 0.5, "b": 0.5}) == pytest.approx(0.5)
+
+    def test_kl_divergence_is_zero_for_identical_and_positive_otherwise(self):
+        same = kl_divergence({"a": 0.5, "b": 0.5}, {"a": 0.5, "b": 0.5})
+        different = kl_divergence({"a": 0.9, "b": 0.1}, {"a": 0.5, "b": 0.5})
+        assert same == pytest.approx(0.0, abs=1e-6)
+        assert different > 0.0
+        with pytest.raises(SamplingError):
+            kl_divergence({}, {}, smoothing=0.0)
+
+    def test_chi_square(self):
+        perfect = chi_square_statistic({"a": 50, "b": 50}, {"a": 0.5, "b": 0.5})
+        skewed = chi_square_statistic({"a": 90, "b": 10}, {"a": 0.5, "b": 0.5})
+        assert perfect == pytest.approx(0.0)
+        assert skewed > perfect
+        assert chi_square_statistic({}, {"a": 0.5}) == 0.0
+
+    def test_histogram_total_variation(self):
+        a = Histogram("make")
+        a.update(["x", "x", "y"])
+        b = Histogram("make")
+        b.update(["x", "y", "y"])
+        assert histogram_total_variation(a, b) == pytest.approx(1 / 3)
+
+    def test_inclusion_probability_dispersion(self):
+        uniform = [_sample("Toyota", 1.0, probability=0.1) for _ in range(10)]
+        varied = [_sample("Toyota", 1.0, probability=p) for p in (0.01, 0.1, 0.5, 0.9)]
+        assert inclusion_probability_dispersion(uniform) == pytest.approx(0.0)
+        assert inclusion_probability_dispersion(varied) > 0.5
+        assert inclusion_probability_dispersion([]) == 0.0
+
+    def test_marginal_distance_report(self):
+        report = marginal_distance_report(
+            {"make": {"a": 1.0}}, {"make": {"a": 0.5, "b": 0.5}, "color": {"red": 1.0}}
+        )
+        assert report["make"] == pytest.approx(0.5)
+        # No samples at all for "color": the L1/2 distance to an all-zero
+        # sampled marginal is 0.5.
+        assert report["color"] == pytest.approx(0.5)
+        assert report["__mean__"] == pytest.approx(0.5)
+
+
+class TestEfficiencyAndComparison:
+    def test_efficiency_summary(self):
+        report = SamplerReport(
+            samples_accepted=4, candidates_generated=10, candidates_rejected=6,
+            failed_walks=5, queries_issued=60,
+        )
+        summary = efficiency_summary(report, SAMPLES)
+        assert summary.samples == 4
+        assert summary.queries_per_sample == pytest.approx(15.0)
+        assert summary.acceptance_rate == pytest.approx(0.4)
+        assert summary.failed_walk_rate == pytest.approx(5 / 15)
+        assert summary.mean_walk_depth == pytest.approx(3.0)
+        assert summary.as_dict()["queries_issued"] == 60
+
+    def test_efficiency_summary_with_cache_adjusted_queries(self):
+        report = SamplerReport(samples_accepted=4, candidates_generated=4, queries_issued=60)
+        summary = efficiency_summary(report, SAMPLES, queries_issued=30)
+        assert summary.queries_per_sample == pytest.approx(7.5)
+
+    def test_queries_projection(self):
+        assert queries_for_target_samples(12.5, 100) == 1250
+        with pytest.raises(ValueError):
+            queries_for_target_samples(float("inf"), 10)
+        with pytest.raises(ValueError):
+            queries_for_target_samples(1.0, -1)
+
+    def test_compare_marginals_against_table(self, tiny_table):
+        comparisons = compare_marginals(SAMPLES, tiny_table, attributes=("make",))
+        comparison = comparisons["make"]
+        assert 0.0 <= comparison.total_variation <= 1.0
+        text = comparison.render()
+        assert "total variation" in text and "Toyota" in text
+
+    def test_compare_sample_sets(self):
+        other = [_sample("Honda", 1.0), _sample("Honda", 2.0)]
+        distance, text = compare_sample_sets(SAMPLES, other, "make", "hd", "bf")
+        assert 0.0 < distance <= 1.0
+        assert "hd" in text and "bf" in text
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_render_histogram(self):
+        histogram = Histogram("make")
+        histogram.update(["x", "x", "y"])
+        text = render_histogram(histogram, width=10)
+        assert "x" in text and "#" in text and "66.7%" in text
+        with pytest.raises(ValueError):
+            render_histogram(histogram, width=0)
+
+    def test_render_histogram_empty(self):
+        assert "(no values)" in render_histogram(Histogram("make"))
+
+    def test_render_key_values_and_format_float(self):
+        text = render_key_values([("alpha", 1), ("b", 2.5)])
+        assert "alpha : 1" in text
+        assert render_key_values([]) == ""
+        assert format_float(float("inf")) == "inf"
+        assert format_float(1.23456, 2) == "1.23"

@@ -1,0 +1,74 @@
+"""Unit tests for CSV/JSON export of samples and histograms."""
+
+import csv
+import io
+import json
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.export import (
+    histogram_to_csv,
+    histograms_to_json,
+    samples_to_csv,
+    samples_to_json,
+)
+from repro.analytics.histogram import Histogram
+
+
+def _sample(tuple_id: int, make: str, price_bucket: str) -> SampleRecord:
+    return SampleRecord(
+        tuple_id=tuple_id,
+        values={"make": make, "price": 12_345.0},
+        selectable_values={"make": make, "price": price_bucket},
+        selection_probability=0.25,
+        acceptance_probability=0.5,
+        queries_spent=4,
+        source="hidden-db-sampler",
+    )
+
+
+SAMPLES = [_sample(1, "Toyota", "10000-15000"), _sample(2, "Ford", "0-10000")]
+
+
+class TestSampleExport:
+    def test_csv_contains_one_row_per_sample_plus_header(self):
+        text = samples_to_csv(SAMPLES)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[0][:3] == ["tuple_id", "make", "price"]
+        assert rows[1][0] == "1" and rows[1][1] == "Toyota"
+        assert rows[2][2] == "0-10000"
+
+    def test_csv_with_explicit_attribute_order(self):
+        text = samples_to_csv(SAMPLES, attributes=("price", "make"))
+        header = text.splitlines()[0].split(",")
+        assert header[1] == "price" and header[2] == "make"
+
+    def test_csv_of_empty_sample_set_is_just_the_header(self):
+        text = samples_to_csv([], attributes=("make",))
+        assert text.splitlines() == ["tuple_id,make,selection_probability,acceptance_probability,queries_spent,source"]
+
+    def test_json_round_trips_metadata(self):
+        payload = json.loads(samples_to_json(SAMPLES))
+        assert len(payload) == 2
+        assert payload[0]["tuple_id"] == 1
+        assert payload[0]["selectable_values"]["make"] == "Toyota"
+        assert payload[0]["selection_probability"] == 0.25
+        assert payload[1]["source"] == "hidden-db-sampler"
+
+
+class TestHistogramExport:
+    def test_histogram_csv(self):
+        histogram = Histogram("make", categories=("Toyota", "Ford"))
+        histogram.update(["Toyota", "Toyota", "Ford"])
+        rows = list(csv.reader(io.StringIO(histogram_to_csv(histogram))))
+        assert rows[0] == ["value", "count", "proportion"]
+        assert rows[1][:2] == ["Toyota", "2"]
+        assert float(rows[1][2]) > float(rows[2][2])
+
+    def test_histograms_json(self):
+        histogram = Histogram("make")
+        histogram.update(["Toyota"])
+        payload = json.loads(histograms_to_json({"make": histogram}))
+        assert payload["make"]["total"] == 1
+        assert payload["make"]["counts"]["Toyota"] == 1
+        assert payload["make"]["proportions"]["Toyota"] == 1.0

@@ -1,0 +1,133 @@
+"""Unit tests for HDSamplerConfig, the tradeoff slider and database scoping."""
+
+import pytest
+
+from repro.algorithms.acceptance_rejection import minimum_selection_probability
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.scope import ScopedDatabase
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.query import ConjunctiveQuery
+from repro.exceptions import ConfigurationError
+
+
+class TestTradeoffSlider:
+    def test_position_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TradeoffSlider(-0.1)
+        with pytest.raises(ConfigurationError):
+            TradeoffSlider(1.1)
+
+    def test_named_presets(self):
+        assert TradeoffSlider.lowest_skew().position == 0.0
+        assert TradeoffSlider.balanced().position == 0.5
+        assert TradeoffSlider.highest_efficiency().position == 1.0
+
+    def test_efficiency_and_skew_preference_are_complementary(self):
+        slider = TradeoffSlider(0.3)
+        assert slider.efficiency == pytest.approx(0.3)
+        assert slider.skew_preference == pytest.approx(0.7)
+
+    def test_acceptance_scale_endpoints(self, tiny_schema):
+        lowest = TradeoffSlider.lowest_skew().acceptance_scale(tiny_schema, 2)
+        highest = TradeoffSlider.highest_efficiency().acceptance_scale(tiny_schema, 2)
+        assert lowest == pytest.approx(minimum_selection_probability(tiny_schema, 2))
+        assert highest == 1.0
+
+    def test_acceptance_scale_is_monotone_in_position(self, tiny_schema):
+        scales = [TradeoffSlider(p).acceptance_scale(tiny_schema, 2) for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert scales == sorted(scales)
+
+    def test_acceptance_policy_uses_the_scale(self, tiny_schema):
+        policy = TradeoffSlider(0.5).acceptance_policy(tiny_schema, 2)
+        assert policy.scale == pytest.approx(TradeoffSlider(0.5).acceptance_scale(tiny_schema, 2))
+
+    def test_describe_flags_the_extremes(self):
+        assert "lowest skew" in TradeoffSlider(0.0).describe()
+        assert "highest efficiency" in TradeoffSlider(1.0).describe()
+        assert "balanced" in TradeoffSlider(0.5).describe()
+
+
+class TestHDSamplerConfig:
+    def test_defaults_are_valid(self):
+        config = HDSamplerConfig()
+        assert config.n_samples == 100
+        assert config.algorithm is SamplerAlgorithm.RANDOM_WALK
+        assert config.use_history
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig(n_samples=0)
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig(attributes=())
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig(attributes=("make", "make"))
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig(attributes=("make",), bindings={"make": "Toyota"})
+
+    def test_fluent_updates_produce_new_objects(self):
+        base = HDSamplerConfig()
+        updated = (
+            base.with_samples(50)
+            .with_attributes("make", "color")
+            .with_binding("condition", "used")
+            .with_tradeoff(0.9)
+            .with_algorithm("brute_force")
+            .with_seed(7)
+        )
+        assert base.n_samples == 100 and updated.n_samples == 50
+        assert updated.attributes == ("make", "color")
+        assert updated.bindings == {"condition": "used"}
+        assert updated.tradeoff.position == pytest.approx(0.9)
+        assert updated.algorithm is SamplerAlgorithm.BRUTE_FORCE
+        assert updated.seed == 7
+
+    def test_without_binding(self):
+        config = HDSamplerConfig(bindings={"condition": "used"}).without_binding("condition")
+        assert config.bindings == {}
+
+    def test_describe_lists_the_settings(self):
+        text = HDSamplerConfig(attributes=("make",), bindings={"color": "red"}).describe()
+        assert "make" in text and "color='red'" in text
+
+
+class TestScopedDatabase:
+    def test_attribute_selection_projects_the_schema(self, tiny_interface):
+        scoped = ScopedDatabase(tiny_interface, attributes=("make", "color"))
+        assert scoped.schema.attribute_names == ("make", "color")
+        assert scoped.k == tiny_interface.k
+
+    def test_bindings_are_merged_into_every_query(self, tiny_interface):
+        scoped = ScopedDatabase(tiny_interface, bindings={"make": "Toyota"})
+        assert "make" not in scoped.schema
+        response = scoped.submit(ConjunctiveQuery.empty(scoped.schema))
+        # Only the 4 Toyotas qualify, so the reported (exact) count is 4.
+        assert response.reported_count == 4
+        # The response's query stays in the scoped schema's terms.
+        assert response.query.schema == scoped.schema
+
+    def test_binding_and_selection_compose(self, tiny_interface):
+        scoped = ScopedDatabase(tiny_interface, attributes=("color",), bindings={"make": "Honda"})
+        response = scoped.submit(ConjunctiveQuery.from_assignment(scoped.schema, {"color": "red"}))
+        assert response.reported_count == 1
+
+    def test_invalid_binding_value_is_rejected(self, tiny_interface):
+        with pytest.raises(ConfigurationError):
+            ScopedDatabase(tiny_interface, bindings={"make": "Tesla"})
+
+    def test_bound_attribute_cannot_also_be_selected(self, tiny_interface):
+        with pytest.raises(ConfigurationError):
+            ScopedDatabase(tiny_interface, attributes=("make",), bindings={"make": "Toyota"})
+
+    def test_everything_bound_is_rejected(self, tiny_interface):
+        with pytest.raises(ConfigurationError):
+            ScopedDatabase(
+                tiny_interface,
+                bindings={"make": "Toyota", "color": "red", "price": "0-10000"},
+            )
+
+    def test_inner_exposes_the_wrapped_database(self, tiny_interface):
+        scoped = ScopedDatabase(tiny_interface)
+        assert scoped.inner is tiny_interface
+        assert scoped.bindings == {}

@@ -1,0 +1,139 @@
+"""Unit tests for the incremental sampling session and the HDSampler facade."""
+
+import pytest
+
+from repro.core.config import HDSamplerConfig, SamplerAlgorithm
+from repro.core.hdsampler import HDSampler
+from repro.core.session import SamplingSession, SessionState
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.interface import HiddenDatabaseInterface
+from repro.database.limits import QueryBudget
+from repro.database.ranking import StaticScoreRanking
+
+
+class TestSamplingSession:
+    def test_runs_to_completion_and_reaches_the_requested_count(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=10, tradeoff=TradeoffSlider(0.9), seed=1)
+        session = SamplingSession(tiny_interface, config)
+        output = session.run()
+        assert session.state is SessionState.COMPLETED
+        assert len(output) == 10
+
+    def test_progress_events_are_emitted_per_accepted_sample(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=5, tradeoff=TradeoffSlider(1.0), seed=2)
+        session = SamplingSession(tiny_interface, config)
+        events = []
+        session.on_progress(events.append)
+        session.run()
+        # One event per accepted sample plus the terminal event.
+        assert len(events) == 6
+        assert events[0].samples_collected == 1
+        assert events[-1].state is SessionState.COMPLETED
+        assert events[-1].last_sample is None
+        assert 0.0 <= events[0].fraction_done <= 1.0
+
+    def test_kill_switch_stops_the_run(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=1_000, tradeoff=TradeoffSlider(1.0), seed=3)
+        session = SamplingSession(tiny_interface, config)
+
+        def stop_after_three(event):
+            if event.samples_collected >= 3:
+                session.stop()
+
+        session.on_progress(stop_after_three)
+        output = session.run()
+        assert session.state is SessionState.STOPPED
+        assert session.stopped
+        assert 3 <= len(output) < 1_000
+
+    def test_max_attempts_exhaustion(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=10_000, max_attempts=20, seed=4)
+        session = SamplingSession(tiny_interface, config)
+        session.run()
+        assert session.state is SessionState.EXHAUSTED
+        assert session.attempts <= 21
+
+    def test_budget_exhaustion(self, tiny_table):
+        interface = HiddenDatabaseInterface(
+            tiny_table, k=2, ranking=StaticScoreRanking(), budget=QueryBudget(limit=15)
+        )
+        config = HDSamplerConfig(n_samples=10_000, tradeoff=TradeoffSlider(1.0), seed=5)
+        session = SamplingSession(interface, config)
+        session.run()
+        assert session.state is SessionState.EXHAUSTED
+        assert interface.budget.issued <= 15
+
+    def test_step_returns_the_accepted_sample_or_none(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=5, tradeoff=TradeoffSlider(1.0), seed=6)
+        session = SamplingSession(tiny_interface, config)
+        results = [session.step() for _ in range(30)]
+        accepted = [r for r in results if r is not None]
+        assert accepted
+        assert len(session.output) == len(accepted)
+
+
+class TestHDSamplerFacade:
+    def test_run_produces_a_complete_result_bundle(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=8, tradeoff=TradeoffSlider(0.8), seed=7))
+        result = sampler.run()
+        assert result.state is SessionState.COMPLETED
+        assert result.sample_count == 8
+        assert result.queries_issued > 0
+        assert result.queries_per_sample == pytest.approx(result.queries_issued / 8)
+        assert result.history_report is not None
+        summary = result.summary()
+        assert summary["samples"] == 8
+        assert "generator_queries_issued" in summary
+        assert "history_saved" in summary
+
+    def test_histogram_and_marginals_via_the_result(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=12, tradeoff=TradeoffSlider(0.9), seed=8))
+        result = sampler.run()
+        histogram = result.histogram("make")
+        assert histogram.total == 12
+        marginal = result.marginal_distribution("make")
+        assert sum(marginal.values()) == pytest.approx(1.0)
+        assert "make" in result.render_histogram("make")
+
+    def test_aggregate_via_the_result(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=15, tradeoff=TradeoffSlider(0.9), seed=9))
+        result = sampler.run()
+        estimate = result.aggregate("avg", measure_attribute="price")
+        assert 0.0 < estimate.value < 40_000.0
+
+    def test_scoped_schema_is_visible_on_the_facade(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=5, attributes=("make", "color"), seed=10)
+        sampler = HDSampler(tiny_interface, config)
+        assert sampler.schema.attribute_names == ("make", "color")
+
+    def test_history_report_absent_when_disabled(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=5, use_history=False, tradeoff=TradeoffSlider(1.0), seed=11)
+        result = HDSampler(tiny_interface, config).run()
+        assert result.history_report is None
+
+    def test_stop_before_run_is_honoured(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=50, seed=12))
+        sampler.stop()
+        result = sampler.run()
+        assert result.state is SessionState.STOPPED
+        assert result.sample_count == 0
+
+    def test_brute_force_algorithm_through_the_facade(self, tiny_interface):
+        config = HDSamplerConfig(
+            n_samples=5, algorithm=SamplerAlgorithm.BRUTE_FORCE, max_attempts=5_000, seed=13
+        )
+        result = HDSampler(tiny_interface, config).run()
+        assert result.sample_count == 5
+
+    def test_bindings_restrict_the_sampled_population(self, tiny_interface):
+        config = HDSamplerConfig(
+            n_samples=6, bindings={"make": "Toyota"}, tradeoff=TradeoffSlider(1.0), seed=14
+        )
+        result = HDSampler(tiny_interface, config).run()
+        assert all(sample.values["make"] == "Toyota" for sample in result.samples)
+
+    def test_queries_per_sample_with_zero_samples_is_infinite(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=3, max_attempts=1, seed=15))
+        result = sampler.run()
+        if result.sample_count == 0:
+            assert result.queries_per_sample == float("inf")

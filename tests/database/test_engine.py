@@ -1,0 +1,115 @@
+"""Unit tests for the top-k query engine and ranking functions."""
+
+import pytest
+
+from repro.database.engine import QueryEngine, QueryOutcome
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import (
+    AttributeWeightedRanking,
+    HashRanking,
+    RowIdRanking,
+    StaticScoreRanking,
+)
+from repro.exceptions import SchemaError
+
+
+class TestRankingFunctions:
+    def test_static_score_ranks_higher_scores_first(self, tiny_table):
+        ranking = StaticScoreRanking()
+        order = ranking.order(tiny_table, list(range(len(tiny_table))))
+        scores = [tiny_table[row_id]["score"] for row_id in order]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_static_score_missing_scores_rank_last(self, tiny_schema):
+        from repro.database.table import Table
+
+        rows = [
+            {"make": "Ford", "color": "red", "price": 5_000.0},
+            {"make": "Honda", "color": "red", "price": 5_000.0, "score": 1.0},
+        ]
+        table = Table(tiny_schema, rows)
+        order = StaticScoreRanking().order(table, [0, 1])
+        assert order == [1, 0]
+
+    def test_static_score_requires_column_name(self):
+        with pytest.raises(SchemaError):
+            StaticScoreRanking("")
+
+    def test_attribute_weighted_ranking(self, tiny_table):
+        ranking = AttributeWeightedRanking({"price": -1.0})
+        order = ranking.order(tiny_table, list(range(len(tiny_table))))
+        prices = [tiny_table[row_id]["price"] for row_id in order]
+        assert prices == sorted(prices)
+
+    def test_attribute_weighted_requires_weights(self):
+        with pytest.raises(SchemaError):
+            AttributeWeightedRanking({})
+
+    def test_hash_ranking_is_deterministic_and_salt_dependent(self, tiny_table):
+        ids = list(range(len(tiny_table)))
+        a = HashRanking("salt-a").order(tiny_table, ids)
+        b = HashRanking("salt-a").order(tiny_table, ids)
+        c = HashRanking("salt-b").order(tiny_table, ids)
+        assert a == b
+        assert set(a) == set(ids)
+        assert a != c  # overwhelmingly likely for 8 rows
+
+    def test_row_id_ranking_keeps_insertion_order(self, tiny_table):
+        assert RowIdRanking().order(tiny_table, [3, 1, 2]) == [1, 2, 3]
+
+    def test_top_k_truncates(self, tiny_table):
+        assert len(RowIdRanking().top_k(tiny_table, list(range(8)), 3)) == 3
+        with pytest.raises(ValueError):
+            RowIdRanking().top_k(tiny_table, [0], -1)
+
+
+class TestQueryEngine:
+    def test_k_must_be_positive(self, tiny_table):
+        with pytest.raises(ValueError):
+            QueryEngine(tiny_table, k=0)
+
+    def test_empty_result(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=2)
+        query = ConjunctiveQuery.from_assignment(
+            tiny_schema, {"make": "Honda", "price": "0-10000"}
+        )
+        result = engine.execute(query)
+        assert result.outcome is QueryOutcome.EMPTY
+        assert result.empty and not result.overflow
+        assert result.returned_row_ids == ()
+        assert result.total_count == 0
+
+    def test_valid_result_returns_all_matches(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=5)
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda"})
+        result = engine.execute(query)
+        assert result.outcome is QueryOutcome.VALID
+        assert result.returned_count == result.total_count == 2
+
+    def test_overflow_returns_top_k_by_ranking(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=2, ranking=StaticScoreRanking())
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        result = engine.execute(query)
+        assert result.outcome is QueryOutcome.OVERFLOW
+        assert result.overflow
+        assert result.total_count == 4
+        assert result.returned_count == 2
+        # The two highest-score Toyotas are rows 0 and 1.
+        assert set(result.returned_row_ids) == {0, 1}
+
+    def test_count_and_matching_row_ids(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=2)
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"color": "red"})
+        assert engine.count(query) == 4
+        assert engine.matching_row_ids(query) == [0, 2, 4, 6]
+
+    def test_rows_materialisation(self, tiny_table):
+        engine = QueryEngine(tiny_table, k=2)
+        rows = engine.rows([1, 3])
+        assert [row["score"] for row in rows] == [9.0, 7.0]
+
+    def test_empty_query_overflow_on_small_k(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=2)
+        result = engine.execute(ConjunctiveQuery.empty(tiny_schema))
+        assert result.overflow
+        assert result.total_count == len(tiny_table)

@@ -1,0 +1,156 @@
+"""Unit tests for the hidden-database interface contract and query budgets."""
+
+import pytest
+
+from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.database.limits import QueryBudget
+from repro.database.query import ConjunctiveQuery
+from repro.database.stats import (
+    conditional_fraction,
+    ground_truth_aggregate,
+    ground_truth_marginal,
+    ground_truth_marginal_counts,
+    numeric_attribute_names,
+    summarise_table,
+)
+from repro.exceptions import InterfaceError, QueryBudgetExceededError, QueryError
+
+
+class TestInterfaceResponses:
+    def test_valid_response_contains_raw_and_selectable_values(self, tiny_interface, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda"})
+        response = tiny_interface.submit(query)
+        assert response.valid and not response.overflow
+        returned = response.tuples[0]
+        assert returned.values["make"] == "Honda"
+        assert returned.selectable_values["price"] in {"10000-20000", "20000-40000"}
+
+    def test_overflow_response_is_flagged_and_truncated(self, tiny_interface, tiny_schema):
+        response = tiny_interface.submit(ConjunctiveQuery.empty(tiny_schema))
+        assert response.overflow
+        assert len(response.tuples) == tiny_interface.k == 2
+
+    def test_empty_response(self, tiny_interface, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford", "color": "blue", "price": "0-10000"})
+        response = tiny_interface.submit(query)
+        assert response.empty and not response.valid
+
+    def test_exact_count_mode_reports_true_counts(self, tiny_interface, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        response = tiny_interface.submit(query)
+        assert response.reported_count == 4
+
+    def test_none_count_mode_hides_counts(self, tiny_table, tiny_schema):
+        interface = HiddenDatabaseInterface(tiny_table, k=2, count_mode=CountMode.NONE)
+        response = interface.submit(ConjunctiveQuery.empty(tiny_schema))
+        assert response.reported_count is None
+
+    def test_noisy_count_mode_is_bounded_and_deterministic_per_seed(self, tiny_table, tiny_schema):
+        interface = HiddenDatabaseInterface(
+            tiny_table, k=2, count_mode=CountMode.NOISY, count_noise=0.5, seed=42
+        )
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        reported = interface.submit(query).reported_count
+        assert 2 <= reported <= 6  # 4 ± 50%
+        again = HiddenDatabaseInterface(
+            tiny_table, k=2, count_mode=CountMode.NOISY, count_noise=0.5, seed=42
+        )
+        assert again.submit(query).reported_count == reported
+
+    def test_noisy_count_of_zero_stays_zero(self, tiny_table, tiny_schema):
+        interface = HiddenDatabaseInterface(tiny_table, k=2, count_mode=CountMode.NOISY, seed=1)
+        query = ConjunctiveQuery.from_assignment(
+            tiny_schema, {"make": "Honda", "price": "0-10000"}
+        )
+        assert interface.submit(query).reported_count == 0
+
+    def test_negative_count_noise_rejected(self, tiny_table):
+        with pytest.raises(InterfaceError):
+            HiddenDatabaseInterface(tiny_table, k=2, count_noise=-0.1)
+
+    def test_display_columns_are_included(self, tiny_table, tiny_schema):
+        interface = HiddenDatabaseInterface(tiny_table, k=10, display_columns=("score",))
+        response = interface.submit(ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford"}))
+        assert all("score" in t.values for t in response.tuples)
+
+    def test_statistics_are_recorded(self, tiny_interface, tiny_schema):
+        tiny_interface.submit(ConjunctiveQuery.empty(tiny_schema))
+        tiny_interface.submit(ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda"}))
+        stats = tiny_interface.statistics.as_dict()
+        assert stats["queries_issued"] == 2
+        assert stats["overflow_results"] == 1
+        assert stats["valid_results"] == 1
+        tiny_interface.reset_statistics()
+        assert tiny_interface.statistics.queries_issued == 0
+
+    def test_true_count_is_operator_side_only_helper(self, tiny_interface, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"color": "red"})
+        before = tiny_interface.statistics.queries_issued
+        assert tiny_interface.true_count(query) == 4
+        assert tiny_interface.statistics.queries_issued == before
+
+
+class TestQueryBudget:
+    def test_budget_exhaustion_raises(self, tiny_table, tiny_schema):
+        interface = HiddenDatabaseInterface(tiny_table, k=2, budget=QueryBudget(limit=2))
+        interface.submit(ConjunctiveQuery.empty(tiny_schema))
+        interface.submit(ConjunctiveQuery.empty(tiny_schema))
+        with pytest.raises(QueryBudgetExceededError):
+            interface.submit(ConjunctiveQuery.empty(tiny_schema))
+
+    def test_budget_accounting(self):
+        budget = QueryBudget(limit=3)
+        assert budget.remaining == 3 and not budget.exhausted
+        budget.charge(2)
+        assert budget.remaining == 1
+        assert budget.can_afford(1) and not budget.can_afford(2)
+        budget.charge()
+        assert budget.exhausted
+        budget.reset()
+        assert budget.issued == 0
+
+    def test_unlimited_budget(self):
+        budget = QueryBudget()
+        budget.charge(10_000)
+        assert budget.remaining is None and not budget.exhausted
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            QueryBudget(limit=-1)
+        with pytest.raises(ValueError):
+            QueryBudget().charge(-1)
+
+    def test_budget_copy_is_independent(self):
+        budget = QueryBudget(limit=5, issued=2)
+        clone = budget.copy()
+        clone.charge()
+        assert budget.issued == 2 and clone.issued == 3
+
+
+class TestGroundTruthStats:
+    def test_marginal_fractions_sum_to_one(self, tiny_table):
+        marginal = ground_truth_marginal(tiny_table, "make")
+        assert marginal["Toyota"] == pytest.approx(0.5)
+        assert sum(marginal.values()) == pytest.approx(1.0)
+
+    def test_marginal_counts(self, tiny_table):
+        assert ground_truth_marginal_counts(tiny_table, "color") == {"red": 4, "blue": 4}
+
+    def test_aggregates(self, tiny_table, tiny_schema):
+        assert ground_truth_aggregate(tiny_table, "count") == 8
+        assert ground_truth_aggregate(tiny_table, "avg", "price") == pytest.approx(16_250.0)
+        toyota = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        assert ground_truth_aggregate(tiny_table, "count", condition=toyota) == 4
+        assert ground_truth_aggregate(tiny_table, "sum", "price", condition=toyota) == pytest.approx(50_000.0)
+
+    def test_aggregate_validation(self, tiny_table):
+        with pytest.raises(QueryError):
+            ground_truth_aggregate(tiny_table, "median")
+        with pytest.raises(QueryError):
+            ground_truth_aggregate(tiny_table, "sum")
+
+    def test_conditional_fraction_and_helpers(self, tiny_table):
+        assert conditional_fraction(tiny_table, lambda row: row["make"] == "Ford") == pytest.approx(0.25)
+        assert numeric_attribute_names(tiny_table) == ("price",)
+        summary = summarise_table(tiny_table)
+        assert set(summary) == {"make", "color", "price"}

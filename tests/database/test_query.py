@@ -1,0 +1,114 @@
+"""Unit tests for conjunctive queries and their little algebra."""
+
+import pytest
+
+from repro.database.query import ConjunctiveQuery, Predicate, enumerate_leaf_queries
+from repro.exceptions import QueryError
+
+
+class TestConstruction:
+    def test_empty_query_has_no_predicates(self, tiny_schema):
+        query = ConjunctiveQuery.empty(tiny_schema)
+        assert len(query) == 0
+        assert query.free_attributes == tiny_schema.attribute_names
+
+    def test_from_assignment(self, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota", "color": "red"})
+        assert query.value_of("make") == "Toyota"
+        assert query.value_of("price") is None
+
+    def test_duplicate_predicates_rejected(self, tiny_schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(tiny_schema, [Predicate("make", "Toyota"), Predicate("make", "Honda")])
+
+    def test_unknown_attribute_rejected(self, tiny_schema):
+        with pytest.raises(Exception):
+            ConjunctiveQuery(tiny_schema, [Predicate("engine", "V8")])
+
+    def test_out_of_domain_value_rejected(self, tiny_schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(tiny_schema, [Predicate("make", "Tesla")])
+
+    def test_str_of_empty_and_nonempty_query(self, tiny_schema):
+        assert str(ConjunctiveQuery.empty(tiny_schema)) == "SELECT * FROM tiny"
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford"})
+        assert "WHERE make = 'Ford'" in str(query)
+
+
+class TestAlgebra:
+    def test_specialise_adds_one_predicate(self, tiny_schema):
+        query = ConjunctiveQuery.empty(tiny_schema).specialise("make", "Honda")
+        assert query.constrained_attributes == ("make",)
+        with pytest.raises(QueryError):
+            query.specialise("make", "Ford")
+
+    def test_generalise_removes_a_predicate(self, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "color": "red"})
+        relaxed = query.generalise("make")
+        assert relaxed.constrained_attributes == ("color",)
+        with pytest.raises(QueryError):
+            relaxed.generalise("make")
+
+    def test_subsumption(self, tiny_schema):
+        broad = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        narrow = broad.specialise("color", "red")
+        assert broad.subsumes(narrow)
+        assert not narrow.subsumes(broad)
+        assert ConjunctiveQuery.empty(tiny_schema).subsumes(narrow)
+        assert narrow.is_specialisation_of(broad)
+
+    def test_contradiction(self, tiny_schema):
+        toyota = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"})
+        honda_red = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "color": "red"})
+        assert toyota.contradicts(honda_red)
+        assert not toyota.contradicts(toyota.specialise("color", "blue"))
+
+    def test_canonical_key_is_order_independent(self, tiny_schema):
+        a = ConjunctiveQuery(tiny_schema, [Predicate("make", "Ford"), Predicate("color", "red")])
+        b = ConjunctiveQuery(tiny_schema, [Predicate("color", "red"), Predicate("make", "Ford")])
+        assert a.canonical_key() == b.canonical_key()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_children_enumerate_the_domain(self, tiny_schema):
+        root = ConjunctiveQuery.empty(tiny_schema)
+        children = root.children("color")
+        assert [child.value_of("color") for child in children] == ["red", "blue"]
+        with pytest.raises(QueryError):
+            children[0].children("color")
+
+    def test_is_fully_specified(self, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(
+            tiny_schema, {"make": "Ford", "color": "red", "price": "0-10000"}
+        )
+        assert query.is_fully_specified()
+        assert not query.generalise("price").is_fully_specified()
+
+
+class TestEvaluation:
+    def test_matches_categorical_and_numeric(self, tiny_schema, tiny_table):
+        query = ConjunctiveQuery.from_assignment(
+            tiny_schema, {"make": "Toyota", "price": "0-10000"}
+        )
+        matches = [row for row in tiny_table if query.matches(row)]
+        assert len(matches) == 2
+
+    def test_empty_query_matches_everything(self, tiny_schema, tiny_table):
+        query = ConjunctiveQuery.empty(tiny_schema)
+        assert all(query.matches(row) for row in tiny_table)
+
+
+class TestLeafEnumeration:
+    def test_enumerates_every_combination_once(self, tiny_schema):
+        leaves = list(enumerate_leaf_queries(tiny_schema))
+        assert len(leaves) == tiny_schema.total_combinations()
+        assert len({leaf.canonical_key() for leaf in leaves}) == len(leaves)
+        assert all(leaf.is_fully_specified() for leaf in leaves)
+
+    def test_enumeration_respects_custom_order(self, tiny_schema):
+        leaves = list(enumerate_leaf_queries(tiny_schema, order=("price", "color", "make")))
+        assert len(leaves) == tiny_schema.total_combinations()
+
+    def test_enumeration_rejects_partial_order(self, tiny_schema):
+        with pytest.raises(QueryError):
+            list(enumerate_leaf_queries(tiny_schema, order=("make",)))

@@ -1,0 +1,76 @@
+"""Unit tests for the in-memory table storage."""
+
+import pytest
+
+from repro.database.schema import Attribute, Domain, Schema
+from repro.database.table import Table
+from repro.exceptions import DomainValueError, SchemaError, UnknownAttributeError
+
+
+class TestValidation:
+    def test_missing_searchable_column_is_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            Table(tiny_schema, [{"make": "Toyota", "color": "red"}])
+
+    def test_out_of_domain_categorical_is_rejected(self, tiny_schema):
+        with pytest.raises(DomainValueError):
+            Table(tiny_schema, [{"make": "Tesla", "color": "red", "price": 5_000.0}])
+
+    def test_out_of_range_numeric_is_rejected(self, tiny_schema):
+        with pytest.raises(DomainValueError):
+            Table(tiny_schema, [{"make": "Ford", "color": "red", "price": 999_999.0}])
+
+    def test_validate_false_skips_checks(self, tiny_schema):
+        table = Table(tiny_schema, [{"make": "Tesla", "color": "red", "price": 1.0}], validate=False)
+        assert len(table) == 1
+
+
+class TestAccess:
+    def test_len_iter_getitem(self, tiny_table):
+        assert len(tiny_table) == 8
+        assert tiny_table[0]["make"] == "Toyota"
+        assert sum(1 for _ in tiny_table) == 8
+
+    def test_row_ids_match_positions(self, tiny_table):
+        assert list(tiny_table.row_ids()) == list(range(8))
+
+    def test_column_returns_searchable_and_hidden_columns(self, tiny_table):
+        assert tiny_table.column("make")[0] == "Toyota"
+        assert tiny_table.column("score")[0] == 10.0
+        with pytest.raises(UnknownAttributeError):
+            tiny_table.column("missing")
+
+    def test_selectable_row_translates_numeric_to_bucket_labels(self, tiny_table):
+        selectable = tiny_table.selectable_row(tiny_table[0])
+        assert selectable == {"make": "Toyota", "color": "red", "price": "0-10000"}
+
+    def test_selectable_value_single_attribute(self, tiny_table):
+        assert tiny_table.selectable_value("price", tiny_table[1]) == "10000-20000"
+
+
+class TestDerivedTables:
+    def test_select_filters_rows(self, tiny_table):
+        toyota = tiny_table.select(lambda row: row["make"] == "Toyota")
+        assert len(toyota) == 4
+        assert all(row["make"] == "Toyota" for row in toyota)
+
+    def test_matching_row_ids(self, tiny_table):
+        ids = tiny_table.matching_row_ids(lambda row: row["color"] == "red")
+        assert ids == [0, 2, 4, 6]
+
+    def test_project_restricts_schema_but_keeps_hidden_columns(self, tiny_table):
+        projected = tiny_table.project(["make"])
+        assert projected.schema.attribute_names == ("make",)
+        assert "score" in projected[0]
+        assert "color" not in projected[0]
+
+    def test_value_counts_ground_truth(self, tiny_table):
+        counts = tiny_table.value_counts("make")
+        assert counts == {"Toyota": 4, "Honda": 2, "Ford": 2}
+
+    def test_value_counts_numeric_buckets(self, tiny_table):
+        counts = tiny_table.value_counts("price")
+        assert counts == {"0-10000": 3, "10000-20000": 2, "20000-40000": 3}
+
+    def test_describe_contains_row_count(self, tiny_table):
+        assert "8 rows" in tiny_table.describe()

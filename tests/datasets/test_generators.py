@@ -1,0 +1,162 @@
+"""Unit tests for the synthetic hidden-database generators."""
+
+import pytest
+
+from repro.database.schema import AttributeKind
+from repro.datasets.boolean import BooleanConfig, boolean_schema, figure1_table, generate_boolean_table
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+from repro.datasets.mixed import MixedConfig, generate_mixed_table
+from repro.datasets.vehicles import (
+    VehiclesConfig,
+    generate_vehicles_table,
+    make_country,
+    vehicles_schema,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestVehicles:
+    def test_schema_contains_the_google_base_style_attributes(self):
+        schema = vehicles_schema()
+        assert set(schema.attribute_names) == {
+            "make", "model", "color", "year", "price", "mileage", "body_style", "condition",
+        }
+        assert schema.attribute("price").kind is AttributeKind.NUMERIC
+
+    def test_optional_attributes_can_be_dropped(self):
+        config = VehiclesConfig(include_condition=False, include_body_style=False)
+        schema = vehicles_schema(config)
+        assert "condition" not in schema and "body_style" not in schema
+
+    def test_generation_is_reproducible_per_seed(self):
+        a = generate_vehicles_table(VehiclesConfig(n_rows=50, seed=3))
+        b = generate_vehicles_table(VehiclesConfig(n_rows=50, seed=3))
+        c = generate_vehicles_table(VehiclesConfig(n_rows=50, seed=4))
+        assert a.rows == b.rows
+        assert a.rows != c.rows
+
+    def test_rows_carry_hidden_columns(self):
+        table = generate_vehicles_table(VehiclesConfig(n_rows=20, seed=0))
+        row = table[0]
+        assert {"country", "score", "title"} <= set(row)
+
+    def test_rows_validate_against_the_schema(self):
+        table = generate_vehicles_table(VehiclesConfig(n_rows=200, seed=1))
+        # Table() already validates; spot-check the make/model consistency.
+        assert len(table) == 200
+        for row in table.rows[:50]:
+            assert make_country(str(row["make"])) == row["country"]
+
+    def test_make_marginal_is_skewed_toward_popular_makes(self):
+        table = generate_vehicles_table(VehiclesConfig(n_rows=3_000, seed=5))
+        counts = table.value_counts("make")
+        assert counts["Toyota"] > counts["Volvo"]
+        assert counts["Ford"] > counts["Audi"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VehiclesConfig(n_rows=0)
+        with pytest.raises(ValueError):
+            VehiclesConfig(make_skew=-1.0)
+
+
+class TestBoolean:
+    def test_schema_names_attributes_a1_to_an(self):
+        schema = boolean_schema(4)
+        assert schema.attribute_names == ("a1", "a2", "a3", "a4")
+
+    def test_figure1_matches_the_paper(self):
+        table = figure1_table()
+        assert len(table) == 4
+        assert [tuple(int(row[a]) for a in ("a1", "a2", "a3")) for row in table] == [
+            (0, 0, 1), (0, 1, 0), (0, 1, 1), (1, 1, 0),
+        ]
+
+    def test_iid_generation_has_expected_shape(self):
+        table = generate_boolean_table(BooleanConfig(n_rows=300, n_attributes=5, seed=1))
+        assert len(table) == 300
+        assert len(table.schema) == 5
+        assert all(isinstance(row["a1"], bool) for row in table.rows[:20])
+
+    def test_zipf_distribution_skews_later_attributes_toward_false(self):
+        config = BooleanConfig(n_rows=4_000, n_attributes=6, distribution="zipf", probability=0.6, skew=1.0, seed=2)
+        table = generate_boolean_table(config)
+        first = sum(1 for row in table if row["a1"]) / len(table)
+        last = sum(1 for row in table if row["a6"]) / len(table)
+        assert first > last
+
+    def test_correlated_distribution_correlates_adjacent_attributes(self):
+        config = BooleanConfig(n_rows=4_000, n_attributes=4, distribution="correlated", skew=0.9, seed=3)
+        table = generate_boolean_table(config)
+        agree = sum(1 for row in table if row["a1"] == row["a2"]) / len(table)
+        assert agree > 0.8
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BooleanConfig(distribution="weird")
+        with pytest.raises(ConfigurationError):
+            BooleanConfig(probability=1.5)
+        with pytest.raises(ConfigurationError):
+            BooleanConfig(n_attributes=0)
+
+
+class TestCategorical:
+    def test_cardinalities_define_the_schema(self):
+        table = generate_categorical_table(CategoricalConfig(n_rows=100, cardinalities=(3, 4), seed=0))
+        assert table.schema.attribute_names == ("c1", "c2")
+        assert table.schema.attribute("c2").cardinality == 4
+
+    def test_zero_skew_is_roughly_uniform_and_high_skew_is_not(self):
+        uniform = generate_categorical_table(
+            CategoricalConfig(n_rows=5_000, cardinalities=(5,), skew=0.0, seed=1)
+        )
+        skewed = generate_categorical_table(
+            CategoricalConfig(n_rows=5_000, cardinalities=(5,), skew=2.0, seed=1)
+        )
+        uniform_counts = sorted(uniform.value_counts("c1").values())
+        skewed_counts = sorted(skewed.value_counts("c1").values())
+        assert uniform_counts[0] > 0.7 * uniform_counts[-1]
+        assert skewed_counts[-1] > 5 * max(skewed_counts[0], 1)
+
+    def test_correlation_links_adjacent_columns(self):
+        table = generate_categorical_table(
+            CategoricalConfig(n_rows=3_000, cardinalities=(4, 4), skew=0.0, correlation=1.0, seed=2)
+        )
+        assert all(row["c1"] == row["c2"] for row in table.rows)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CategoricalConfig(cardinalities=())
+        with pytest.raises(ConfigurationError):
+            CategoricalConfig(cardinalities=(1,))
+        with pytest.raises(ConfigurationError):
+            CategoricalConfig(correlation=2.0)
+
+
+class TestMixed:
+    def test_schema_mixes_categorical_and_numeric(self):
+        config = MixedConfig(n_rows=50, n_categorical=2, n_numeric=1, seed=0)
+        table = generate_mixed_table(config)
+        kinds = {a.name: a.kind for a in table.schema}
+        assert kinds["cat1"] is AttributeKind.CATEGORICAL
+        assert kinds["num1"] is AttributeKind.NUMERIC
+
+    def test_numeric_values_fall_into_buckets(self):
+        table = generate_mixed_table(MixedConfig(n_rows=500, seed=1))
+        # Table construction validates bucket membership; also check counts add up.
+        counts = table.value_counts("num1")
+        assert sum(counts.values()) == 500
+
+    def test_purely_categorical_and_purely_numeric_schemas_work(self):
+        categorical_only = generate_mixed_table(MixedConfig(n_rows=20, n_numeric=0, seed=2))
+        numeric_only = generate_mixed_table(MixedConfig(n_rows=20, n_categorical=0, seed=2))
+        assert len(categorical_only.schema) == 3
+        assert len(numeric_only.schema) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MixedConfig(n_categorical=0, n_numeric=0)
+        with pytest.raises(ConfigurationError):
+            MixedConfig(numeric_buckets=1)
+        with pytest.raises(ConfigurationError):
+            MixedConfig(numeric_scale=0.0)

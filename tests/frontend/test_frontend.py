@@ -1,0 +1,153 @@
+"""Unit tests for the front-end settings builder, dashboard and CLI."""
+
+import pytest
+
+from repro.core.config import SamplerAlgorithm
+from repro.core.hdsampler import HDSampler
+from repro.core.config import HDSamplerConfig
+from repro.core.tradeoff import TradeoffSlider
+from repro.exceptions import ConfigurationError
+from repro.frontend.cli import build_parser, main
+from repro.frontend.dashboard import Dashboard
+from repro.frontend.settings import FrontEndSettings
+
+
+class TestFrontEndSettings:
+    def test_defaults_select_every_attribute(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        assert settings.selected_attributes == tiny_schema.attribute_names
+        config = settings.build_config()
+        assert config.attributes is None  # "all" is encoded as None
+
+    def test_select_only_and_deselect(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.select_only("price", "make")
+        assert settings.selected_attributes == ("make", "price")
+        settings.deselect_attribute("price")
+        assert settings.selected_attributes == ("make",)
+        with pytest.raises(ConfigurationError):
+            settings.deselect_attribute("make")
+
+    def test_reselecting_keeps_schema_order(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.select_only("price")
+        settings.select_attribute("make")
+        assert settings.selected_attributes == ("make", "price")
+
+    def test_bind_and_unbind_values(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.bind_value("color", "red")
+        assert settings.bindings == {"color": "red"}
+        assert "color" not in settings.selected_attributes
+        config = settings.build_config()
+        assert config.bindings == {"color": "red"}
+        settings.unbind_value("color")
+        assert settings.bindings == {}
+        assert "color" in settings.selected_attributes
+
+    def test_bind_validation(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        with pytest.raises(ConfigurationError):
+            settings.bind_value("make", "Tesla")
+        with pytest.raises(ConfigurationError):
+            settings.unbind_value("make")
+
+    def test_binding_a_selected_attribute_then_selecting_it_again_fails(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.bind_value("make", "Toyota")
+        with pytest.raises(ConfigurationError):
+            settings.select_attribute("make")
+
+    def test_run_parameters(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.set_sample_count(42)
+        settings.set_tradeoff(0.8)
+        settings.set_algorithm("brute_force")
+        settings.set_history_enabled(False)
+        settings.set_seed(99)
+        config = settings.build_config()
+        assert config.n_samples == 42
+        assert config.tradeoff.position == pytest.approx(0.8)
+        assert config.algorithm is SamplerAlgorithm.BRUTE_FORCE
+        assert not config.use_history
+        assert config.seed == 99
+        with pytest.raises(ConfigurationError):
+            settings.set_sample_count(0)
+
+    def test_describe_round_trips_through_config(self, tiny_schema):
+        settings = FrontEndSettings(tiny_schema)
+        settings.select_only("make")
+        assert "make" in settings.describe()
+
+
+class TestDashboard:
+    def test_dashboard_tracks_progress_and_renders(self, tiny_interface):
+        sampler = HDSampler(
+            tiny_interface, HDSamplerConfig(n_samples=6, tradeoff=TradeoffSlider(1.0), seed=1)
+        )
+        dashboard = Dashboard(sampler, recent_samples=3, histogram_attributes=("make",))
+        assert dashboard.render_progress_line() == "sampling not started"
+        sampler.run()
+        progress = dashboard.render_progress_line()
+        assert "6/6 samples" in progress
+        recent = dashboard.render_recent_samples()
+        assert "make" in recent
+        assert len(recent.splitlines()) <= 2 + 3  # header + separator + at most 3 rows
+        full = dashboard.render()
+        assert "samples" in full and "#" in full
+
+    def test_dashboard_periodic_printing(self, tiny_interface):
+        printed = []
+        sampler = HDSampler(
+            tiny_interface, HDSamplerConfig(n_samples=10, tradeoff=TradeoffSlider(1.0), seed=2)
+        )
+        Dashboard(sampler, printer=printed.append, print_every=5)
+        sampler.run()
+        assert len(printed) == 2  # at samples 5 and 10
+
+    def test_recent_samples_validation(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=2, seed=3))
+        with pytest.raises(ValueError):
+            Dashboard(sampler, recent_samples=-1)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.dataset == "vehicles"
+        assert args.samples == 100
+
+    def test_cli_runs_the_boolean_demo(self, capsys):
+        exit_code = main([
+            "--dataset", "boolean", "--rows", "300", "--top-k", "10",
+            "--samples", "15", "--tradeoff", "1.0", "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "samples requested : 15" in captured.out
+        assert "a1" in captured.out
+        assert "queries/sample" in captured.out
+
+    def test_cli_runs_vehicles_with_bindings_and_aggregate(self, capsys):
+        exit_code = main([
+            "--rows", "800", "--top-k", "50", "--samples", "20",
+            "--tradeoff", "0.9", "--seed", "5",
+            "--where", "condition=used",
+            "--histogram", "make",
+            "--aggregate", "avg", "--measure", "price",
+            "--progress",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "AVG" in captured.out
+        assert "make" in captured.out
+
+    def test_cli_reports_errors_cleanly(self, capsys):
+        exit_code = main(["--where", "notanattr"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_cli_rejects_unknown_binding_attribute(self, capsys):
+        exit_code = main(["--rows", "100", "--samples", "5", "--where", "engine=V8"])
+        assert exit_code == 2
