@@ -14,39 +14,43 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
 from repro.analytics.report import render_table
 from repro.database import HiddenDatabaseInterface
 from repro.datasets import VehiclesConfig, generate_vehicles_table
 from repro.datasets.vehicles import default_vehicles_ranking
 
 
-def sample_source(name: str, config: VehiclesConfig, n_samples: int = 250):
-    """Sample one hidden source and return (name, result, table size)."""
-    table = generate_vehicles_table(config)
-    interface = HiddenDatabaseInterface(
-        table, k=100, ranking=default_vehicles_ranking(), display_columns=("title",)
+def _interface(config: VehiclesConfig) -> HiddenDatabaseInterface:
+    return HiddenDatabaseInterface(
+        generate_vehicles_table(config), k=100,
+        ranking=default_vehicles_ranking(), display_columns=("title",),
     )
-    sampler_config = HDSamplerConfig(
-        n_samples=n_samples,
-        attributes=("make", "condition", "price", "body_style"),
-        tradeoff=TradeoffSlider(0.5),
-        seed=29,
-    )
-    result = HDSampler(interface, sampler_config).run()
-    return name, result, len(table)
 
 
 def main() -> None:
     # Source A: a large mainstream marketplace; source B: a smaller one that
-    # skews toward premium (German) listings.
-    sources = [
-        sample_source("AutoBarn (mainstream)", VehiclesConfig(n_rows=9_000, seed=5)),
-        sample_source("PremiumWheels (upmarket)", VehiclesConfig(n_rows=4_000, make_skew=0.0, seed=17)),
-    ]
+    # skews toward premium (German) listings.  One service is bound to both
+    # sources as named backends; the two sampling jobs are interleaved
+    # round-robin by run_all(), so neither marketplace is polled in a burst.
+    service = SamplingService(
+        {
+            "AutoBarn (mainstream)": _interface(VehiclesConfig(n_rows=9_000, seed=5)),
+            "PremiumWheels (upmarket)": _interface(VehiclesConfig(n_rows=4_000, make_skew=0.0, seed=17)),
+        }
+    )
+    spec = HDSamplerConfig(
+        n_samples=250,
+        attributes=("make", "condition", "price", "body_style"),
+        tradeoff=TradeoffSlider(0.5),
+        seed=29,
+    )
+    jobs = {name: service.submit(spec, backend=name) for name in service.backend_names}
+    results = service.run_all()
 
     rows = []
-    for name, result, size in sources:
+    for name, job in jobs.items():
+        result = results[job.job_id]
         german_share = sum(
             1 for s in result.samples if s.values["make"] in {"BMW", "Mercedes-Benz", "Audi", "Volkswagen"}
         ) / result.sample_count

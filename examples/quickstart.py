@@ -1,9 +1,12 @@
-"""Quickstart: sample a simulated hidden database and look at its marginals.
+"""Quickstart: sample a simulated hidden database through the sampling service.
 
 The scenario is the paper's demo in miniature: a vehicle catalogue sits behind
-a conjunctive web form interface that shows at most ``k`` listings per query;
-HDSampler reveals the marginal distribution of its attributes from a few
-hundred queries.
+a conjunctive web form interface that shows at most ``k`` listings per query.
+A long-lived :class:`~repro.service.SamplingService` is bound to that
+interface once; each analyst request is submitted as a job that streams
+samples incrementally, can be extended after completion (reusing the warm
+query-history cache), and yields the same histograms and aggregates as the
+paper's output module.
 
 Run with::
 
@@ -12,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
 from repro.database import HiddenDatabaseInterface
 from repro.datasets import VehiclesConfig, generate_vehicles_table
 from repro.datasets.vehicles import default_vehicles_ranking
@@ -29,20 +32,34 @@ def main() -> None:
         display_columns=("title",),
     )
 
-    # 2. Configure HDSampler: 200 samples over five attributes, balanced slider.
-    #    (Enough attributes that fully-specified queries stay under the top-k
-    #    limit; a very coarse scope would leave popular listings unreachable.)
+    # 2. The long-lived service is bound to the interface once; every analyst
+    #    request below is just a job spec submitted to it.
+    service = SamplingService(interface)
+
+    # 3. Submit one workload: 200 samples over five attributes, balanced
+    #    slider.  (Enough attributes that fully-specified queries stay under
+    #    the top-k limit; a very coarse scope would leave popular listings
+    #    unreachable.)
     config = HDSamplerConfig(
         n_samples=200,
         attributes=("make", "color", "condition", "price", "body_style"),
         tradeoff=TradeoffSlider(0.5),
         seed=7,
     )
-    sampler = HDSampler(interface, config)
-
-    # 3. Run and inspect the output module's histograms and aggregates.
-    result = sampler.run()
+    job = service.submit(config)
     print(config.describe())
+    print()
+
+    # 4. Stream the samples as they arrive — this is the demo's AJAX loop.
+    #    The analyst could call job.stop() (kill switch) or job.pause() at any
+    #    point; here we just watch the first milestones go by.
+    for sample in job.stream():
+        if job.samples_collected in (50, 100, 200):
+            print(
+                f"  ... {job.samples_collected:3d} samples after "
+                f"{job.queries_issued} interface queries"
+            )
+    result = job.result()
     print()
     print(result.render_histogram("make"))
     print()
@@ -53,6 +70,16 @@ def main() -> None:
     print(
         f"collected {result.sample_count} samples with {result.queries_issued} interface "
         f"queries ({result.queries_per_sample:.1f} queries per sample)"
+    )
+
+    # 5. The analyst wants more precision: extend the finished job.  The warm
+    #    query-history cache makes the extra samples cheaper than a cold run.
+    queries_before = job.queries_issued
+    result = job.extend(100).run()
+    print()
+    print(
+        f"extended to {result.sample_count} samples; the extra 100 cost only "
+        f"{job.queries_issued - queries_before} more queries on the warm cache"
     )
 
 

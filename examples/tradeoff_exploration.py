@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
 from repro.analytics.report import render_table
 from repro.analytics.skew import total_variation_distance
 from repro.database import HiddenDatabaseInterface
@@ -27,16 +27,31 @@ def main() -> None:
     )
     truth = ground_truth_marginal(table, "a1")
 
-    rows = []
-    for position in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0):
-        interface = HiddenDatabaseInterface(table, k=10, seed=0)
-        config = HDSamplerConfig(
-            n_samples=120,
-            tradeoff=TradeoffSlider(position),
-            max_attempts=20_000,
-            seed=23,
+    # One service, one named backend per slider position (each position gets a
+    # fresh interface so query counters don't mix), one job per position —
+    # run_all() interleaves the whole sweep round-robin.
+    positions = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+    service = SamplingService(
+        {f"slider-{position:.1f}": HiddenDatabaseInterface(table, k=10, seed=0)
+         for position in positions}
+    )
+    jobs = {
+        position: service.submit(
+            HDSamplerConfig(
+                n_samples=120,
+                tradeoff=TradeoffSlider(position),
+                max_attempts=20_000,
+                seed=23,
+            ),
+            backend=f"slider-{position:.1f}",
         )
-        result = HDSampler(interface, config).run()
+        for position in positions
+    }
+    service.run_all()
+
+    rows = []
+    for position, job in jobs.items():
+        result = job.result()
         distance = total_variation_distance(result.marginal_distribution("a1"), truth)
         rows.append(
             [

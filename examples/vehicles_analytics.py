@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
 from repro.analytics.comparison import compare_marginals
 from repro.database import HiddenDatabaseInterface
 from repro.database.stats import ground_truth_aggregate
@@ -34,7 +34,7 @@ def main() -> None:
         tradeoff=TradeoffSlider(0.45),
         seed=11,
     )
-    result = HDSampler(interface, config).run()
+    result = SamplingService(interface).submit(config).run()
 
     # -- the motivating question -------------------------------------------------
     sampled_japanese = sum(

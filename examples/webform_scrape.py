@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
 from repro.database import CountMode, HiddenDatabaseInterface
 from repro.datasets import VehiclesConfig, generate_vehicles_table
 from repro.datasets.vehicles import default_vehicles_ranking, vehicles_schema
@@ -44,7 +44,9 @@ def main() -> None:
         tradeoff=TradeoffSlider(0.5),
         seed=13,
     )
-    result = HDSampler(client, config).run()
+    # The service neither knows nor cares that its backend is scraped HTML:
+    # WebFormClient satisfies the same HiddenDatabase protocol.
+    result = SamplingService(client).submit(config).run()
 
     print(result.render_histogram("make"))
     print()

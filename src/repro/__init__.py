@@ -8,26 +8,54 @@ interface, an HTML form/result-page layer and its scraping client, the
 HIDDEN-DB-SAMPLER / BRUTE-FORCE / count-aided sampling algorithms, the
 four-module HDSampler pipeline, and the analytics used to evaluate it.
 
-The most common entry points are re-exported here::
+The public API is job-oriented.  A long-lived :class:`SamplingService` is
+bound once to one (or several named) hidden databases; each analyst workload
+is submitted as a spec and comes back as a :class:`SamplingJob` with the
+full lifecycle of the paper's interactive demo — streaming samples, the kill
+switch, pause/resume, extension on the warm query-history cache, and JSON
+checkpointing::
 
-    from repro import HDSampler, HDSamplerConfig, TradeoffSlider
+    from repro import HDSamplerConfig, SamplingService
     from repro.database import HiddenDatabaseInterface
     from repro.datasets import generate_vehicles_table
+
+    interface = HiddenDatabaseInterface(generate_vehicles_table(), k=100)
+    service = SamplingService(interface)
+
+    job = service.submit(HDSamplerConfig(n_samples=200))
+    for sample in job.stream():          # incremental, kill-switch aware
+        ...
+    job.extend(100)                      # more samples, reusing the cache
+    result = job.run()
+    print(result.render_histogram("make"))
+
+    service.run_all()                    # round-robin over every pending job
+
+The classic one-shot facade still works unchanged as a one-job shim::
+
+    from repro import HDSampler, HDSamplerConfig
+    result = HDSampler(interface, HDSamplerConfig(n_samples=200)).run()
 """
 
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
 from repro.core.hdsampler import HDSampler, SamplingResult
+from repro.core.session import ProgressEvent, SessionState
 from repro.core.tradeoff import TradeoffSlider
 from repro.exceptions import ReproError
+from repro.service import SamplingJob, SamplingService
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "HDSampler",
     "HDSamplerConfig",
+    "ProgressEvent",
     "ReproError",
     "SamplerAlgorithm",
+    "SamplingJob",
     "SamplingResult",
+    "SamplingService",
+    "SessionState",
     "TradeoffSlider",
     "__version__",
 ]

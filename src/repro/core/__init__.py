@@ -15,9 +15,11 @@ The four modules of the paper's architecture (Figure 2) map onto:
   the final samples, maintains marginal histograms incrementally and answers
   approximate aggregate queries.
 
-:class:`~repro.core.hdsampler.HDSampler` is the public facade wiring the four
-together, and :class:`~repro.core.session.SamplingSession` is the incremental
-pipeline with progress events and the kill switch.
+:class:`~repro.core.session.SamplingSession` is the incremental pipeline with
+progress events, an explicit state machine and the kill switch; the
+job-oriented :mod:`repro.service` layer schedules many sessions over shared
+backends, and :class:`~repro.core.hdsampler.HDSampler` survives as the
+classic one-job facade over that service.
 """
 
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
@@ -27,8 +29,9 @@ from repro.core.history import CachedResponseSource, HistoryStatistics, QueryHis
 from repro.core.sample_generator import SampleGenerator
 from repro.core.sample_processor import ProcessorStatistics, SampleProcessor
 from repro.core.output import AggregateEstimate, OutputModule
-from repro.core.session import ProgressEvent, SamplingSession, SessionState
-from repro.core.hdsampler import HDSampler, SamplingResult
+from repro.core.session import TERMINAL_STATES, ProgressEvent, SamplingSession, SessionState
+from repro.core.result import SamplingResult
+from repro.core.hdsampler import HDSampler
 
 __all__ = [
     "AggregateEstimate",
@@ -47,5 +50,6 @@ __all__ = [
     "SamplingSession",
     "ScopedDatabase",
     "SessionState",
+    "TERMINAL_STATES",
     "TradeoffSlider",
 ]

@@ -10,6 +10,7 @@ and the random seed.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -119,20 +120,56 @@ class HDSamplerConfig:
         """A copy with a different random seed."""
         return self._replace(seed=seed)
 
+    def with_history(self, enabled: bool = True) -> "HDSamplerConfig":
+        """A copy with the query-history optimisation turned on or off."""
+        return self._replace(use_history=bool(enabled))
+
+    def with_deduplicate(self, enabled: bool = True) -> "HDSamplerConfig":
+        """A copy with output de-duplication turned on or off."""
+        return self._replace(deduplicate=bool(enabled))
+
+    def with_max_attempts(self, max_attempts: int | None) -> "HDSamplerConfig":
+        """A copy with a different cap on candidate-generation attempts."""
+        return self._replace(max_attempts=max_attempts)
+
     def _replace(self, **changes: object) -> "HDSamplerConfig":
-        current = {
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- serialisation (job snapshots, saved settings) ------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable view of the configuration.
+
+        :meth:`from_dict` round-trips it; :class:`~repro.service.SamplingJob`
+        uses the pair to checkpoint paused jobs.
+        """
+        return {
             "n_samples": self.n_samples,
-            "attributes": self.attributes,
+            "attributes": list(self.attributes) if self.attributes is not None else None,
             "bindings": dict(self.bindings),
-            "tradeoff": self.tradeoff,
-            "algorithm": self.algorithm,
+            "tradeoff": self.tradeoff.position,
+            "algorithm": self.algorithm.value,
             "use_history": self.use_history,
             "max_attempts": self.max_attempts,
             "deduplicate": self.deduplicate,
             "seed": self.seed,
         }
-        current.update(changes)
-        return HDSamplerConfig(**current)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HDSamplerConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        attributes = data.get("attributes")
+        return cls(
+            n_samples=int(data.get("n_samples", 100)),  # type: ignore[arg-type]
+            attributes=tuple(attributes) if attributes is not None else None,  # type: ignore[arg-type]
+            bindings=dict(data.get("bindings") or {}),  # type: ignore[arg-type]
+            tradeoff=TradeoffSlider(float(data.get("tradeoff", 0.5))),  # type: ignore[arg-type]
+            algorithm=SamplerAlgorithm(data.get("algorithm", SamplerAlgorithm.RANDOM_WALK.value)),
+            use_history=bool(data.get("use_history", True)),
+            max_attempts=data.get("max_attempts"),  # type: ignore[arg-type]
+            deduplicate=bool(data.get("deduplicate", False)),
+            seed=data.get("seed"),  # type: ignore[arg-type]
+        )
 
     def describe(self) -> str:
         """Human-readable settings summary used by the front end."""

@@ -1,6 +1,6 @@
-"""The public HDSampler facade.
+"""The classic one-shot ``HDSampler`` facade — now a shim over the service.
 
-Typical use (the quickstart example)::
+Typical use (the original quickstart)::
 
     from repro import HDSampler, HDSamplerConfig
     from repro.database import HiddenDatabaseInterface
@@ -14,131 +14,70 @@ Typical use (the quickstart example)::
     print(result.render_histogram("make"))
     print(result.aggregate("avg", measure_attribute="price"))
 
-One :class:`HDSampler` owns one :class:`~repro.core.session.SamplingSession`
-(and therefore one sample set); build a new instance to re-run with different
-settings, as the demo's web front end does when the analyst changes them.
+One :class:`HDSampler` owns exactly one job on a private
+:class:`~repro.service.SamplingService`.  It exists for compatibility: new
+code that wants streaming, pause/resume, extension or several concurrent
+workloads should talk to the service directly —
+``SamplingService(interface).submit(config)`` gives the same job with its
+full lifecycle.  This facade is kept indefinitely but frozen: new
+capabilities land on the service API only.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
-
-from repro.algorithms.base import SampleRecord
-from repro.analytics.aggregates import AggregateEstimate
-from repro.analytics.histogram import Histogram
 from repro.core.config import HDSamplerConfig
 from repro.core.output import OutputModule
-from repro.core.session import ProgressCallback, SamplingSession, SessionState
+from repro.core.result import SamplingResult
+from repro.core.session import ProgressCallback, SamplingSession
 from repro.database.interface import HiddenDatabase
-from repro.database.schema import Schema, Value
+from repro.database.schema import Schema
+from repro.service import SamplingJob, SamplingService
 
-
-@dataclass(frozen=True)
-class SamplingResult:
-    """Everything an HDSampler run produced, in one immutable bundle."""
-
-    output: OutputModule
-    state: SessionState
-    attempts: int
-    queries_issued: int
-    generator_report: dict[str, float]
-    processor_report: dict[str, float]
-    history_report: dict[str, float] | None
-
-    # -- convenience passthroughs -------------------------------------------------
-
-    @property
-    def samples(self) -> tuple[SampleRecord, ...]:
-        """The final sample set."""
-        return self.output.samples
-
-    @property
-    def sample_count(self) -> int:
-        """Number of accepted samples."""
-        return len(self.output)
-
-    @property
-    def queries_per_sample(self) -> float:
-        """Interface queries spent per accepted sample."""
-        if self.sample_count == 0:
-            return float("inf") if self.queries_issued else 0.0
-        return self.queries_issued / self.sample_count
-
-    def histogram(self, attribute_name: str) -> Histogram:
-        """Sampled marginal histogram of one attribute."""
-        return self.output.histogram(attribute_name)
-
-    def marginal_distribution(self, attribute_name: str) -> dict[Value, float]:
-        """Sampled marginal distribution (proportions) of one attribute."""
-        return self.output.marginal_distribution(attribute_name)
-
-    def aggregate(
-        self,
-        kind: str,
-        measure_attribute: str | None = None,
-        condition: Mapping[str, Value] | None = None,
-        confidence: float = 0.95,
-    ) -> AggregateEstimate:
-        """Approximate aggregate query over the sample set."""
-        return self.output.aggregate(
-            kind, measure_attribute=measure_attribute, condition=condition, confidence=confidence
-        )
-
-    def render_histogram(self, attribute_name: str, width: int = 40) -> str:
-        """Plain-text bar chart of one attribute's sampled marginal."""
-        return self.output.render_histogram(attribute_name, width=width)
-
-    def summary(self) -> dict[str, object]:
-        """A flat summary dictionary used by benchmarks and the CLI."""
-        summary: dict[str, object] = {
-            "state": self.state.value,
-            "samples": self.sample_count,
-            "attempts": self.attempts,
-            "queries_issued": self.queries_issued,
-            "queries_per_sample": self.queries_per_sample,
-        }
-        summary.update({f"generator_{key}": value for key, value in self.generator_report.items()})
-        summary.update({f"processor_{key}": value for key, value in self.processor_report.items()})
-        if self.history_report is not None:
-            summary.update({f"history_{key}": value for key, value in self.history_report.items()})
-        return summary
+__all__ = ["HDSampler", "SamplingResult"]
 
 
 class HDSampler:
-    """The practical hidden-database sampling system of the paper."""
+    """The practical hidden-database sampling system of the paper.
+
+    A thin one-job compatibility shim over
+    :class:`~repro.service.SamplingService`: construction submits one job,
+    :meth:`run` drives it to a terminal state, and calling :meth:`run` again
+    on a finished sampler returns the same result instead of silently
+    re-entering the loop (the old behaviour).
+    """
 
     def __init__(self, database: HiddenDatabase, config: HDSamplerConfig | None = None) -> None:
         self.config = config or HDSamplerConfig()
-        self.session = SamplingSession(database, self.config)
+        self.service = SamplingService(database)
+        self.job: SamplingJob = self.service.submit(self.config)
 
     # -- observation --------------------------------------------------------------------
 
     @property
+    def session(self) -> SamplingSession:
+        """The underlying sampling session (kept for compatibility)."""
+        return self.job.session
+
+    @property
     def schema(self) -> Schema:
         """The (possibly scoped) schema being sampled."""
-        return self.session.generator.database.schema
+        return self.job.schema
+
+    @property
+    def output(self) -> OutputModule:
+        """The incrementally-growing sample set."""
+        return self.job.output
 
     def on_progress(self, callback: ProgressCallback) -> None:
         """Register a progress callback (the front end's live updates)."""
-        self.session.on_progress(callback)
+        self.job.on_progress(callback)
 
     def stop(self) -> None:
         """The kill switch: stop after the current attempt."""
-        self.session.stop()
+        self.job.stop()
 
     # -- execution ------------------------------------------------------------------------
 
     def run(self) -> SamplingResult:
-        """Run the sampling session to completion and bundle the results."""
-        output = self.session.run()
-        history = self.session.generator.history
-        return SamplingResult(
-            output=output,
-            state=self.session.state,
-            attempts=self.session.attempts,
-            queries_issued=self.session.generator.interface_queries_issued(),
-            generator_report=self.session.generator.report.as_dict(),
-            processor_report=self.session.processor.statistics.as_dict(),
-            history_report=history.statistics.as_dict() if history is not None else None,
-        )
+        """Run the sampling job to a terminal state and bundle the results."""
+        return self.job.run()

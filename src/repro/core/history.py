@@ -188,6 +188,62 @@ class QueryHistoryCache:
         self._valid_keys.clear()
         self._empty_keys.clear()
 
+    # -- serialisation (job checkpoints) ------------------------------------------------
+
+    def export_entries(self) -> list[dict]:
+        """The cached responses as JSON-serialisable dicts, in insertion order.
+
+        Together with :meth:`import_entries` this lets a paused sampling job
+        checkpoint its warm cache and resume later without re-paying the
+        interface queries that filled it.
+        """
+        entries = []
+        for response in self._responses.values():
+            entries.append(
+                {
+                    "query": response.query.assignment(),
+                    "tuples": [
+                        {
+                            "tuple_id": t.tuple_id,
+                            "values": dict(t.values),
+                            "selectable_values": dict(t.selectable_values),
+                        }
+                        for t in response.tuples
+                    ],
+                    "overflow": response.overflow,
+                    "reported_count": response.reported_count,
+                }
+            )
+        return entries
+
+    def import_entries(self, entries: list[dict]) -> int:
+        """Refill the cache from :meth:`export_entries` output.
+
+        Returns the number of entries loaded.  Statistics are untouched: the
+        imported answers were paid for before the checkpoint.
+        """
+        loaded = 0
+        for entry in entries:
+            query = ConjunctiveQuery.from_assignment(self.schema, entry["query"])
+            tuples = tuple(
+                ReturnedTuple(
+                    tuple_id=t["tuple_id"],
+                    values=dict(t["values"]),
+                    selectable_values=dict(t["selectable_values"]),
+                )
+                for t in entry["tuples"]
+            )
+            response = InterfaceResponse(
+                query=query,
+                tuples=tuples,
+                overflow=bool(entry["overflow"]),
+                reported_count=entry.get("reported_count"),
+                k=self.k,
+            )
+            self._remember(query.canonical_key(), response)
+            loaded += 1
+        return loaded
+
     def __len__(self) -> int:
         return len(self._responses)
 

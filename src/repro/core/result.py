@@ -1,0 +1,96 @@
+"""The immutable result bundle of one sampling run (or job).
+
+Historically this lived next to the :class:`~repro.core.hdsampler.HDSampler`
+facade; it now stands alone so both the facade and the job-oriented
+:mod:`repro.service` layer can produce the same bundle without importing each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.algorithms.base import SampleRecord
+from repro.analytics.aggregates import AggregateEstimate
+from repro.analytics.histogram import Histogram
+from repro.core.output import OutputModule
+from repro.core.session import SessionState
+from repro.database.schema import Value
+
+
+@dataclass(frozen=True)
+class SamplingResult:
+    """Everything a sampling run produced, in one immutable bundle."""
+
+    output: OutputModule
+    state: SessionState
+    attempts: int
+    queries_issued: int
+    generator_report: dict[str, float]
+    processor_report: dict[str, float]
+    history_report: dict[str, float] | None
+
+    # -- convenience passthroughs -------------------------------------------------
+
+    @property
+    def samples(self) -> tuple[SampleRecord, ...]:
+        """The final sample set."""
+        return self.output.samples
+
+    @property
+    def sample_count(self) -> int:
+        """Number of accepted samples."""
+        return len(self.output)
+
+    @property
+    def queries_per_sample(self) -> float:
+        """Interface queries spent per accepted sample.
+
+        Edge cases are explicit: with zero accepted samples the cost per
+        sample is infinite if any queries were spent (all cost, no yield) and
+        0.0 if none were (nothing happened yet — e.g. a job stopped before its
+        first attempt).
+        """
+        if self.sample_count <= 0:
+            return float("inf") if self.queries_issued > 0 else 0.0
+        return self.queries_issued / self.sample_count
+
+    def histogram(self, attribute_name: str) -> Histogram:
+        """Sampled marginal histogram of one attribute."""
+        return self.output.histogram(attribute_name)
+
+    def marginal_distribution(self, attribute_name: str) -> dict[Value, float]:
+        """Sampled marginal distribution (proportions) of one attribute."""
+        return self.output.marginal_distribution(attribute_name)
+
+    def aggregate(
+        self,
+        kind: str,
+        measure_attribute: str | None = None,
+        condition: Mapping[str, Value] | None = None,
+        confidence: float = 0.95,
+    ) -> AggregateEstimate:
+        """Approximate aggregate query over the sample set."""
+        return self.output.aggregate(
+            kind, measure_attribute=measure_attribute, condition=condition, confidence=confidence
+        )
+
+    def render_histogram(self, attribute_name: str, width: int = 40) -> str:
+        """Plain-text bar chart of one attribute's sampled marginal."""
+        return self.output.render_histogram(attribute_name, width=width)
+
+    def summary(self) -> dict[str, object]:
+        """A flat summary dictionary used by benchmarks and the CLI."""
+        summary: dict[str, object] = {
+            "state": self.state.value,
+            "samples": self.sample_count,
+            "attempts": self.attempts,
+            "queries_issued": self.queries_issued,
+            "queries_per_sample": self.queries_per_sample,
+        }
+        summary.update({f"generator_{key}": value for key, value in self.generator_report.items()})
+        summary.update({f"processor_{key}": value for key, value in self.processor_report.items()})
+        if self.history_report is not None:
+            summary.update({f"history_{key}": value for key, value in self.history_report.items()})
+        return summary

@@ -91,6 +91,14 @@ class SampleProcessor:
             source=candidate.source,
         )
 
+    def remember_seen(self, tuple_ids) -> None:
+        """Mark tuples as already accepted (restoring a checkpointed job).
+
+        Without this, a restored ``deduplicate=True`` job would happily
+        re-accept tuples that are already in its restored sample set.
+        """
+        self._seen_tuple_ids.update(tuple_ids)
+
     def reset(self) -> None:
         """Forget de-duplication state and statistics (a fresh run)."""
         self._seen_tuple_ids.clear()

@@ -66,6 +66,44 @@ class SamplerStoppedError(SamplingError):
     """The sampling session was stopped via the kill switch while running."""
 
 
+class SessionStateError(SamplingError):
+    """An operation is invalid in the session's (or job's) current state.
+
+    Raised e.g. when ``run()`` or ``step()`` is called on a session that has
+    already completed, was stopped via the kill switch, or exhausted its
+    budget, and when a job is paused or resumed from the wrong state.
+    """
+
+    def __init__(self, operation: str, state: str) -> None:
+        self.operation = operation
+        self.state = state
+        super().__init__(f"cannot {operation} in state {state!r}")
+
+
+class UnknownJobError(SamplingError):
+    """A sampling service was asked about a job id it never issued."""
+
+    def __init__(self, job_id: str, known: tuple[str, ...] = ()) -> None:
+        self.job_id = job_id
+        self.known = tuple(known)
+        message = f"unknown job {job_id!r}"
+        if self.known:
+            message += f" (known jobs: {', '.join(self.known)})"
+        super().__init__(message)
+
+
+class UnknownBackendError(SamplingError):
+    """A sampling service was asked for a backend name it is not bound to."""
+
+    def __init__(self, backend: str, known: tuple[str, ...] = ()) -> None:
+        self.backend = backend
+        self.known = tuple(known)
+        message = f"unknown backend {backend!r}"
+        if self.known:
+            message += f" (bound backends: {', '.join(self.known)})"
+        super().__init__(message)
+
+
 class ConfigurationError(ReproError):
     """An HDSampler configuration value is invalid or inconsistent."""
 

@@ -23,7 +23,6 @@ import sys
 from typing import Sequence
 
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
-from repro.core.hdsampler import HDSampler
 from repro.core.tradeoff import TradeoffSlider
 from repro.database.interface import CountMode, HiddenDatabaseInterface
 from repro.database.limits import QueryBudget
@@ -31,6 +30,7 @@ from repro.datasets.boolean import BooleanConfig, generate_boolean_table
 from repro.datasets.vehicles import VehiclesConfig, default_vehicles_ranking, generate_vehicles_table
 from repro.exceptions import ReproError
 from repro.frontend.dashboard import Dashboard
+from repro.service import SamplingService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,19 +126,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             use_history=not args.no_history,
             seed=args.seed,
         )
-        sampler = HDSampler(interface, config)
+        service = SamplingService(interface)
+        job = service.submit(config)
         histogram_attributes = (
-            tuple(args.histogram) if args.histogram else sampler.schema.attribute_names[:2]
+            tuple(args.histogram) if args.histogram else job.schema.attribute_names[:2]
         )
         dashboard = Dashboard(
-            sampler,
+            job,
             histogram_attributes=histogram_attributes,
             printer=print if args.progress else None,
             print_every=10 if args.progress else 0,
         )
         print(config.describe())
         print()
-        result = sampler.run()
+        result = job.run()
         print(dashboard.render_progress_line())
         print()
         for attribute in histogram_attributes:

@@ -3,19 +3,38 @@
 The demo front end uses AJAX so users see "seamless updates to the sampling
 procedure" (Section 3.5): a progress indicator, the most recently collected
 samples, and the histograms growing as samples arrive.  :class:`Dashboard`
-renders the same information as text.  It registers itself as a progress
-callback on an :class:`~repro.core.hdsampler.HDSampler` and keeps the latest
-snapshot; callers decide when (and whether) to print it.
+renders the same information as text.  It attaches to anything job-shaped —
+a :class:`~repro.service.SamplingJob`, the classic
+:class:`~repro.core.hdsampler.HDSampler` facade, or any object exposing
+``schema``, ``output`` and ``on_progress`` — registers itself as a progress
+callback, and keeps the latest snapshot; callers decide when (and whether)
+to print it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.algorithms.base import SampleRecord
 from repro.analytics.report import render_histogram, render_table
-from repro.core.hdsampler import HDSampler
-from repro.core.session import ProgressEvent
+from repro.core.output import OutputModule
+from repro.core.session import ProgressCallback, ProgressEvent
+from repro.database.schema import Schema
+
+
+class ProgressSource(Protocol):
+    """What the dashboard needs from a job (structural, so shims qualify too)."""
+
+    @property
+    def schema(self) -> Schema:  # pragma: no cover - protocol declaration
+        ...
+
+    @property
+    def output(self) -> OutputModule:  # pragma: no cover - protocol declaration
+        ...
+
+    def on_progress(self, callback: ProgressCallback) -> None:  # pragma: no cover
+        ...
 
 
 class Dashboard:
@@ -23,7 +42,7 @@ class Dashboard:
 
     def __init__(
         self,
-        sampler: HDSampler,
+        source: ProgressSource,
         recent_samples: int = 5,
         histogram_attributes: Sequence[str] | None = None,
         printer: Callable[[str], None] | None = None,
@@ -31,18 +50,18 @@ class Dashboard:
     ) -> None:
         if recent_samples < 0:
             raise ValueError("recent_samples must be non-negative")
-        self._sampler = sampler
+        self._source = source
         self._recent_limit = recent_samples
         self._histogram_attributes = (
             tuple(histogram_attributes)
             if histogram_attributes is not None
-            else sampler.schema.attribute_names[:2]
+            else source.schema.attribute_names[:2]
         )
         self._printer = printer
         self._print_every = print_every
         self._recent: list[SampleRecord] = []
         self.last_event: ProgressEvent | None = None
-        sampler.on_progress(self._on_progress)
+        source.on_progress(self._on_progress)
 
     # -- progress handling -----------------------------------------------------------
 
@@ -75,7 +94,7 @@ class Dashboard:
         """Table of the most recently collected samples."""
         if not self._recent:
             return "no samples collected yet"
-        attributes = self._sampler.schema.attribute_names
+        attributes = self._source.schema.attribute_names
         rows = []
         for sample in self._recent:
             rows.append([str(sample.selectable_values.get(name, "")) for name in attributes])
@@ -83,7 +102,7 @@ class Dashboard:
 
     def render_histograms(self, width: int = 30) -> str:
         """Current histograms of the dashboard's chosen attributes."""
-        output = self._sampler.session.output
+        output = self._source.output
         sections = [
             render_histogram(output.histogram(name), width=width)
             for name in self._histogram_attributes

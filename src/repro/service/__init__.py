@@ -1,0 +1,29 @@
+"""The job-oriented sampling service: concurrent, resumable, streaming runs.
+
+This package is the public face of the system for anything longer-lived than
+a single blocking run:
+
+* :class:`~repro.service.service.SamplingService` — a long-lived engine bound
+  to one or several named hidden-database backends; ``submit(spec)`` turns an
+  :class:`~repro.core.config.HDSamplerConfig` into a job, ``run_all()``
+  interleaves every pending job round-robin so concurrent analyst workloads
+  share a backend fairly.
+* :class:`~repro.service.job.SamplingJob` — one workload with the full
+  lifecycle: ``stream()`` (incremental samples, kill-switch aware),
+  ``pause()`` / ``resume()``, ``extend(n_more)`` (more samples on the warm
+  query-history cache), and ``snapshot()`` / ``restore()`` (JSON
+  checkpointing).
+
+The classic one-shot :class:`~repro.core.hdsampler.HDSampler` facade is a
+thin one-job shim over this service.
+"""
+
+from repro.service.job import SNAPSHOT_VERSION, SamplingJob
+from repro.service.service import DEFAULT_BACKEND, SamplingService
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "SNAPSHOT_VERSION",
+    "SamplingJob",
+    "SamplingService",
+]

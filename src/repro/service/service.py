@@ -1,0 +1,222 @@
+"""The long-lived sampling service: many jobs over shared backends.
+
+The paper's demo pairs one analyst with one run; a production deployment
+pairs one *service* with many concurrent analyst workloads.
+:class:`SamplingService` is that long-lived object: it is bound once to one
+or several named :class:`~repro.database.interface.HiddenDatabase` backends,
+accepts work through :meth:`submit` (one
+:class:`~repro.core.config.HDSamplerConfig` spec → one
+:class:`~repro.service.job.SamplingJob`), and schedules pending jobs with
+:meth:`run_all`, interleaving them round-robin one
+:meth:`~repro.core.session.SamplingSession.step` at a time so every workload
+makes progress at the same attempt rate — no analyst starves behind a long
+job.
+
+The old one-shot facade survives as a shim::
+
+    HDSampler(db, config).run()
+    # is now exactly
+    SamplingService(db).submit(config).run()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.config import HDSamplerConfig
+from repro.core.result import SamplingResult
+from repro.core.session import SessionState
+from repro.database.interface import HiddenDatabase
+from repro.exceptions import ConfigurationError, UnknownBackendError, UnknownJobError
+from repro.service.job import SamplingJob
+
+#: Name used when the service is bound to a single anonymous backend.
+DEFAULT_BACKEND = "default"
+
+
+class SamplingService:
+    """A long-lived sampling engine bound to one or several named backends."""
+
+    def __init__(
+        self,
+        backends: HiddenDatabase | Mapping[str, HiddenDatabase],
+        default_backend: str | None = None,
+    ) -> None:
+        if isinstance(backends, Mapping):
+            if not backends:
+                raise ConfigurationError("a sampling service needs at least one backend")
+            self._backends: dict[str, HiddenDatabase] = dict(backends)
+        else:
+            self._backends = {DEFAULT_BACKEND: backends}
+        if default_backend is None:
+            default_backend = next(iter(self._backends))
+        if default_backend not in self._backends:
+            raise UnknownBackendError(default_backend, tuple(self._backends))
+        self._default_backend = default_backend
+        self._jobs: dict[str, SamplingJob] = {}
+        self._job_counter = 0
+
+    # -- backends -------------------------------------------------------------------
+
+    @property
+    def backend_names(self) -> tuple[str, ...]:
+        """Names of the hidden databases this service can sample."""
+        return tuple(self._backends)
+
+    def backend(self, name: str | None = None) -> HiddenDatabase:
+        """The named backend (or the default one)."""
+        name = name or self._default_backend
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise UnknownBackendError(name, tuple(self._backends)) from None
+
+    def add_backend(self, name: str, database: HiddenDatabase) -> None:
+        """Bind one more named hidden database to the service."""
+        if name in self._backends:
+            raise ConfigurationError(f"backend {name!r} is already bound")
+        self._backends[name] = database
+
+    # -- job management --------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: HDSamplerConfig | None = None,
+        backend: str | None = None,
+        job_id: str | None = None,
+    ) -> SamplingJob:
+        """Accept one workload spec and return its (not yet running) job.
+
+        ``spec`` is the same immutable configuration the front end's settings
+        page builds; ``backend`` picks one of the named databases.  The job is
+        registered with the service (visible to :meth:`run_all` and
+        :meth:`job`) but nothing executes until the caller streams, runs, or
+        the service schedules it.
+        """
+        backend_name = backend or self._default_backend
+        database = self.backend(backend_name)
+        if job_id is None:
+            job_id = self._next_job_id()
+        elif job_id in self._jobs:
+            raise ConfigurationError(f"job id {job_id!r} is already in use")
+        job = SamplingJob(
+            database,
+            spec or HDSamplerConfig(),
+            job_id=job_id,
+            backend=backend_name,
+        )
+        self._jobs[job.job_id] = job
+        return job
+
+    def adopt(self, snapshot: Mapping[str, object], backend: str | None = None) -> SamplingJob:
+        """Restore a checkpointed job against this service's backends.
+
+        The snapshot's job id must not collide with an already-registered job
+        — adopting never silently replaces live work.
+        """
+        backend_name = backend or snapshot.get("backend") or self._default_backend  # type: ignore[assignment]
+        snapshot_id = snapshot.get("job_id")
+        if snapshot_id in self._jobs:
+            raise ConfigurationError(f"job id {snapshot_id!r} is already in use")
+        job = SamplingJob.restore(snapshot, self.backend(backend_name), backend=backend_name)
+        self._jobs[job.job_id] = job
+        return job
+
+    def _next_job_id(self) -> str:
+        """The next free auto-generated job id.
+
+        Skips ids already registered, so adopting a checkpoint named
+        ``job-1`` in a fresh process never collides with the counter.
+        """
+        while True:
+            self._job_counter += 1
+            candidate = f"job-{self._job_counter}"
+            if candidate not in self._jobs:
+                return candidate
+
+    def job(self, job_id: str) -> SamplingJob:
+        """Look up a submitted job by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id, tuple(self._jobs)) from None
+
+    @property
+    def jobs(self) -> tuple[SamplingJob, ...]:
+        """Every job the service has accepted, in submission order."""
+        return tuple(self._jobs.values())
+
+    def pending_jobs(self) -> tuple[SamplingJob, ...]:
+        """Jobs that can still make progress (not terminal, not paused)."""
+        return tuple(
+            job
+            for job in self._jobs.values()
+            if not job.done and job.state is not SessionState.PAUSED
+        )
+
+    def forget(self, job_id: str) -> None:
+        """Drop a job from the registry (its session is simply released)."""
+        if job_id not in self._jobs:
+            raise UnknownJobError(job_id, tuple(self._jobs))
+        del self._jobs[job_id]
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def run_all(self, max_steps: int | None = None) -> dict[str, SamplingResult]:
+        """Interleave every pending job round-robin, one step at a time.
+
+        Each scheduler round gives every still-runnable job exactly one
+        candidate attempt, so concurrent analyst workloads sharing a backend
+        progress at the same rate (fairness is bounded: attempt counts of
+        active jobs never differ by more than one).  Jobs pausing mid-round
+        drop out of the rotation and re-enter on resume; ``max_steps`` bounds
+        the total number of attempts across all jobs (``None`` runs until no
+        job can make progress).
+
+        Returns the current result bundle of every registered job, keyed by
+        job id.
+        """
+        steps_taken = 0
+        while True:
+            runnable = self.pending_jobs()
+            if not runnable:
+                break
+            for job in runnable:
+                if job.done or job.state is SessionState.PAUSED:
+                    continue
+                if max_steps is not None and steps_taken >= max_steps:
+                    return self.results()
+                job.step()
+                steps_taken += 1
+        return self.results()
+
+    def results(self) -> dict[str, SamplingResult]:
+        """The current result bundle of every registered job."""
+        return {job_id: job.result() for job_id, job in self._jobs.items()}
+
+    def stop_all(self) -> None:
+        """Throw the kill switch on every non-terminal job."""
+        for job in self._jobs.values():
+            if not job.done:
+                job.stop()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One line per job: id, backend, state, progress (used by the CLI)."""
+        if not self._jobs:
+            return "no jobs submitted"
+        lines = []
+        for job in self._jobs.values():
+            lines.append(
+                f"{job.job_id}  backend={job.backend}  state={job.state.value}  "
+                f"{job.samples_collected}/{job.config.n_samples} samples  "
+                f"{job.queries_issued} queries"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterable[SamplingJob]:
+        return iter(self._jobs.values())

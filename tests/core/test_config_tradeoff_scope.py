@@ -87,6 +87,42 @@ class TestHDSamplerConfig:
         config = HDSamplerConfig(bindings={"condition": "used"}).without_binding("condition")
         assert config.bindings == {}
 
+    def test_new_fluent_helpers_cover_the_remaining_fields(self):
+        base = HDSamplerConfig()
+        updated = base.with_history(False).with_deduplicate(True).with_max_attempts(500)
+        assert base.use_history and not updated.use_history
+        assert not base.deduplicate and updated.deduplicate
+        assert base.max_attempts is None and updated.max_attempts == 500
+        # The helpers accept reverting too.
+        reverted = updated.with_history().with_deduplicate(False).with_max_attempts(None)
+        assert reverted == base
+
+    def test_fluent_updates_still_validate(self):
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig().with_max_attempts(-1)
+        with pytest.raises(ConfigurationError):
+            HDSamplerConfig().with_samples(0)
+
+    def test_to_dict_from_dict_round_trip(self):
+        config = HDSamplerConfig(
+            n_samples=42,
+            attributes=("make", "color"),
+            bindings={"condition": "used"},
+            tradeoff=TradeoffSlider(0.8),
+            algorithm=SamplerAlgorithm.COUNT_AIDED,
+            use_history=False,
+            max_attempts=999,
+            deduplicate=True,
+            seed=5,
+        )
+        assert HDSamplerConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        payload = json.dumps(HDSamplerConfig(attributes=("make",)).to_dict())
+        assert HDSamplerConfig.from_dict(json.loads(payload)).attributes == ("make",)
+
     def test_describe_lists_the_settings(self):
         text = HDSamplerConfig(attributes=("make",), bindings={"color": "red"}).describe()
         assert "make" in text and "color='red'" in text

@@ -4,11 +4,13 @@ import pytest
 
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
 from repro.core.hdsampler import HDSampler
-from repro.core.session import SamplingSession, SessionState
+from repro.core.result import SamplingResult
+from repro.core.session import ProgressEvent, SamplingSession, SessionState
 from repro.core.tradeoff import TradeoffSlider
 from repro.database.interface import HiddenDatabaseInterface
 from repro.database.limits import QueryBudget
 from repro.database.ranking import StaticScoreRanking
+from repro.exceptions import ConfigurationError, SessionStateError
 
 
 class TestSamplingSession:
@@ -66,10 +68,66 @@ class TestSamplingSession:
     def test_step_returns_the_accepted_sample_or_none(self, tiny_interface):
         config = HDSamplerConfig(n_samples=5, tradeoff=TradeoffSlider(1.0), seed=6)
         session = SamplingSession(tiny_interface, config)
-        results = [session.step() for _ in range(30)]
+        results = []
+        while not session.terminal:
+            results.append(session.step())
         accepted = [r for r in results if r is not None]
         assert accepted
-        assert len(session.output) == len(accepted)
+        assert len(session.output) == len(accepted) == 5
+        assert session.state is SessionState.COMPLETED
+
+    def test_step_updates_state_and_raises_once_terminal(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=2, tradeoff=TradeoffSlider(1.0), seed=16)
+        session = SamplingSession(tiny_interface, config)
+        assert session.state is SessionState.READY
+        session.step()
+        assert session.state in (SessionState.RUNNING, SessionState.COMPLETED)
+        while not session.terminal:
+            session.step()
+        assert session.state is SessionState.COMPLETED
+        with pytest.raises(SessionStateError):
+            session.step()
+
+    def test_run_on_a_finished_session_raises(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=3, tradeoff=TradeoffSlider(1.0), seed=17)
+        session = SamplingSession(tiny_interface, config)
+        session.run()
+        assert session.state is SessionState.COMPLETED
+        with pytest.raises(SessionStateError):
+            session.run()
+
+    def test_pause_resume_round_trip(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=6, tradeoff=TradeoffSlider(1.0), seed=18)
+        session = SamplingSession(tiny_interface, config)
+        session.step()
+        session.pause()
+        assert session.state is SessionState.PAUSED
+        with pytest.raises(SessionStateError):
+            session.step()
+        session.resume()
+        output = session.run()
+        assert session.state is SessionState.COMPLETED
+        assert len(output) == 6
+        with pytest.raises(SessionStateError):
+            session.pause()
+
+    def test_extend_target_reopens_a_completed_session(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=4, tradeoff=TradeoffSlider(1.0), seed=19)
+        session = SamplingSession(tiny_interface, config)
+        session.run()
+        assert session.state is SessionState.COMPLETED
+        session.extend_target(3)
+        assert session.state is SessionState.READY
+        assert session.config.n_samples == 7
+        session.run()
+        assert session.state is SessionState.COMPLETED
+        assert len(session.output) == 7
+
+    def test_extend_target_rejects_non_positive_counts(self, tiny_interface):
+        config = HDSamplerConfig(n_samples=2, seed=20)
+        session = SamplingSession(tiny_interface, config)
+        with pytest.raises(ConfigurationError):
+            session.extend_target(0)
 
 
 class TestHDSamplerFacade:
@@ -137,3 +195,71 @@ class TestHDSamplerFacade:
         result = sampler.run()
         if result.sample_count == 0:
             assert result.queries_per_sample == float("inf")
+
+    def test_second_run_returns_the_same_result_instead_of_re_entering(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=6, tradeoff=TradeoffSlider(1.0), seed=21))
+        first = sampler.run()
+        second = sampler.run()
+        assert second.state is first.state
+        assert second.sample_count == first.sample_count == 6
+        assert second.queries_issued == first.queries_issued
+
+    def test_facade_is_a_shim_over_the_service(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=4, tradeoff=TradeoffSlider(1.0), seed=22))
+        assert sampler.job in sampler.service.jobs
+        assert sampler.session is sampler.job.session
+        sampler.run()
+        assert sampler.job.done
+
+
+class TestProgressAndResultEdgeCases:
+    """Satellite: fraction_done / queries_per_sample edge cases."""
+
+    @staticmethod
+    def _event(collected: int, requested: int) -> ProgressEvent:
+        return ProgressEvent(
+            samples_collected=collected,
+            samples_requested=requested,
+            attempts=0,
+            queries_issued=0,
+            state=SessionState.READY,
+            last_sample=None,
+        )
+
+    @staticmethod
+    def _result(sample_count: int, queries_issued: int, tiny_interface) -> SamplingResult:
+        # Build a real (possibly empty) output module so sample_count is honest.
+        session = SamplingSession(tiny_interface, HDSamplerConfig(n_samples=50, seed=0))
+        while len(session.output) < sample_count:
+            session.step()
+        return SamplingResult(
+            output=session.output,
+            state=session.state,
+            attempts=session.attempts,
+            queries_issued=queries_issued,
+            generator_report={},
+            processor_report={},
+            history_report=None,
+        )
+
+    def test_fraction_done_with_zero_requested_samples(self):
+        assert self._event(0, 0).fraction_done == 1.0
+        assert self._event(5, 0).fraction_done == 1.0
+
+    def test_fraction_done_clamps_overshoot(self):
+        assert self._event(7, 5).fraction_done == 1.0
+
+    def test_fraction_done_midway(self):
+        assert self._event(1, 4).fraction_done == pytest.approx(0.25)
+
+    def test_queries_per_sample_zero_samples_with_queries_spent(self, tiny_interface):
+        result = self._result(0, 12, tiny_interface)
+        assert result.queries_per_sample == float("inf")
+
+    def test_queries_per_sample_zero_samples_zero_queries(self, tiny_interface):
+        result = self._result(0, 0, tiny_interface)
+        assert result.queries_per_sample == 0.0
+
+    def test_queries_per_sample_normal_case(self, tiny_interface):
+        result = self._result(3, 12, tiny_interface)
+        assert result.queries_per_sample == pytest.approx(4.0)

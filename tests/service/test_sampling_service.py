@@ -1,0 +1,354 @@
+"""Tests for the job-oriented service API: SamplingService and SamplingJob."""
+
+import json
+
+import pytest
+
+from repro.core.config import HDSamplerConfig
+from repro.core.session import SessionState
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.interface import HiddenDatabaseInterface
+from repro.datasets.boolean import BooleanConfig, generate_boolean_table
+from repro.exceptions import ConfigurationError, SessionStateError, UnknownBackendError, UnknownJobError
+from repro.service import SamplingJob, SamplingService
+
+
+@pytest.fixture()
+def boolean_interface():
+    """A correlated boolean database: repeated sub-queries make the cache bite."""
+    table = generate_boolean_table(
+        BooleanConfig(
+            n_rows=1_000, n_attributes=8, distribution="correlated",
+            probability=0.6, skew=0.7, seed=41,
+        )
+    )
+    return HiddenDatabaseInterface(table, k=15, seed=0)
+
+
+def _config(n_samples: int, seed: int = 5, **kwargs) -> HDSamplerConfig:
+    return HDSamplerConfig(
+        n_samples=n_samples, tradeoff=TradeoffSlider(0.9), seed=seed, **kwargs
+    )
+
+
+class TestServiceBasics:
+    def test_single_backend_service_submits_and_tracks_jobs(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(5))
+        assert job.state is SessionState.READY
+        assert service.job(job.job_id) is job
+        assert job in service.jobs
+        assert len(service) == 1
+        assert job.backend == service.backend_names[0]
+
+    def test_named_backends(self, tiny_interface, figure1_interface):
+        service = SamplingService({"tiny": tiny_interface, "figure1": figure1_interface})
+        assert service.backend_names == ("tiny", "figure1")
+        job = service.submit(_config(3), backend="figure1")
+        assert job.backend == "figure1"
+        assert job.schema == figure1_interface.schema
+        with pytest.raises(UnknownBackendError):
+            service.submit(_config(3), backend="nope")
+
+    def test_add_backend_and_duplicate_rejection(self, tiny_interface, figure1_interface):
+        service = SamplingService(tiny_interface)
+        service.add_backend("figure1", figure1_interface)
+        assert "figure1" in service.backend_names
+        with pytest.raises(ConfigurationError):
+            service.add_backend("figure1", figure1_interface)
+
+    def test_unknown_and_duplicate_job_ids(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        service.submit(_config(3), job_id="alpha")
+        with pytest.raises(ConfigurationError):
+            service.submit(_config(3), job_id="alpha")
+        with pytest.raises(UnknownJobError):
+            service.job("missing")
+        service.forget("alpha")
+        with pytest.raises(UnknownJobError):
+            service.job("alpha")
+
+    def test_empty_backend_mapping_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplingService({})
+
+
+class TestStreaming:
+    def test_stream_yields_samples_incrementally(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(8, seed=2))
+        collected = []
+        for sample in job.stream():
+            collected.append(sample)
+            # Incrementality: the output module has exactly the samples
+            # yielded so far — nothing is buffered to the end.
+            assert job.samples_collected == len(collected)
+        assert len(collected) == 8
+        assert job.state is SessionState.COMPLETED
+
+    def test_stream_honours_the_kill_switch(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(1_000, seed=3))
+        seen = 0
+        for _ in job.stream():
+            seen += 1
+            if seen == 4:
+                job.stop()
+        assert job.state is SessionState.STOPPED
+        assert job.samples_collected == 4
+
+    def test_stream_respects_limit_and_can_continue(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(10, seed=4))
+        first = list(job.stream(limit=3))
+        assert len(first) == 3
+        assert not job.done
+        rest = list(job.stream())
+        assert len(first) + len(rest) == 10
+        assert job.state is SessionState.COMPLETED
+
+    def test_stream_stops_at_a_pause_and_resumes(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(10, seed=5))
+        seen = []
+        for sample in job.stream():
+            seen.append(sample)
+            if len(seen) == 2:
+                job.pause()
+        assert job.state is SessionState.PAUSED
+        assert len(seen) == 2
+        job.resume()
+        seen.extend(job.stream())
+        assert len(seen) == 10
+        assert job.state is SessionState.COMPLETED
+
+
+class TestExtend:
+    def test_extend_reuses_the_history_cache(self, boolean_interface):
+        """The warm continuation must beat a cold run of the same extra count."""
+        base, extra = 150, 50
+        table = boolean_interface  # alias for clarity: same physical database
+
+        service = SamplingService(table)
+        job = service.submit(_config(base, seed=9))
+        job.run()
+        assert job.state is SessionState.COMPLETED
+        queries_before = job.queries_issued
+
+        job.extend(extra)
+        result = job.run()
+        assert result.sample_count == base + extra
+        warm_delta = job.queries_issued - queries_before
+
+        # Cold reference: a fresh job collecting only the extra count against
+        # an identical fresh interface (so budgets/counters don't interfere).
+        cold_interface = HiddenDatabaseInterface(table.table, k=table.k, seed=0)
+        cold_job = SamplingService(cold_interface).submit(_config(extra, seed=9))
+        cold_job.run()
+        cold_queries = cold_job.queries_issued
+
+        assert cold_job.samples_collected == extra
+        assert warm_delta < cold_queries
+
+    def test_extend_after_stop_clears_the_kill_switch(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(100, seed=10))
+        for _ in job.stream(limit=3):
+            pass
+        job.stop()
+        list(job.stream())  # drains to STOPPED
+        assert job.state is SessionState.STOPPED
+        job.extend(2)
+        assert not job.done
+        job.run()
+        assert job.done
+
+    def test_extend_rejects_non_positive(self, tiny_interface):
+        job = SamplingService(tiny_interface).submit(_config(5))
+        with pytest.raises(ConfigurationError):
+            job.extend(0)
+
+    def test_extend_with_a_spent_attempt_cap_raises_loudly(self, tiny_interface):
+        job = SamplingService(tiny_interface).submit(
+            _config(10_000, seed=60, max_attempts=20)
+        )
+        job.run()
+        assert job.state is SessionState.EXHAUSTED
+        with pytest.raises(ConfigurationError, match="attempt cap"):
+            job.extend(5)
+
+    def test_extend_with_extra_attempts_grants_a_fresh_attempt_budget(self, tiny_interface):
+        job = SamplingService(tiny_interface).submit(
+            _config(10_000, seed=61, max_attempts=15)
+        )
+        job.run()
+        assert job.state is SessionState.EXHAUSTED
+        collected_before = job.samples_collected
+        job.extend(2, extra_attempts=200).run()
+        assert job.samples_collected > collected_before
+        assert job.config.max_attempts == 15 + 200
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_round_trip_equality(self, boolean_interface):
+        service = SamplingService(boolean_interface)
+        job = service.submit(_config(30, seed=11), job_id="checkpointed")
+        for _ in job.stream(limit=12):
+            pass
+        job.pause()
+
+        payload = json.dumps(job.snapshot())          # genuinely JSON
+        restored = SamplingJob.restore(json.loads(payload), boolean_interface)
+
+        assert restored.job_id == "checkpointed"
+        assert restored.state is SessionState.PAUSED
+        assert restored.samples_collected == job.samples_collected
+        assert restored.session.attempts == job.session.attempts
+        assert restored.config == job.config
+        assert [s.tuple_id for s in restored.output.samples] == [
+            s.tuple_id for s in job.output.samples
+        ]
+        # Round-trip equality: snapshotting the restored job reproduces the
+        # original checkpoint bit for bit.
+        assert restored.snapshot() == json.loads(payload)
+
+    def test_restore_carries_the_warm_cache(self, boolean_interface):
+        service = SamplingService(boolean_interface)
+        job = service.submit(_config(40, seed=12))
+        for _ in job.stream(limit=20):
+            pass
+        job.pause()
+        cache_size = len(job.session.generator.history)
+
+        restored = SamplingJob.restore(job.snapshot(), boolean_interface)
+        assert cache_size > 0
+        assert len(restored.session.generator.history) == cache_size
+
+        restored.resume()
+        restored.run()
+        assert restored.state is SessionState.COMPLETED
+        assert restored.samples_collected == 40
+
+    def test_restore_through_a_service_adopt(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(6, seed=13), job_id="migrating")
+        job.run()
+        snapshot = job.snapshot()
+
+        other = SamplingService(tiny_interface)
+        adopted = other.adopt(snapshot)
+        assert adopted.job_id == "migrating"
+        assert other.job("migrating") is adopted
+        assert adopted.done
+        assert adopted.samples_collected == 6
+
+    def test_restore_preserves_deduplication_state(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(8, seed=62, deduplicate=True))
+        for _ in job.stream(limit=4):
+            pass
+        job.pause()
+        restored = SamplingJob.restore(job.snapshot(), tiny_interface)
+        restored.resume()
+        restored.run()
+        tuple_ids = [sample.tuple_id for sample in restored.output.samples]
+        assert len(tuple_ids) == len(set(tuple_ids))
+
+    def test_restore_keeps_query_accounting_consistent(self, boolean_interface):
+        service = SamplingService(boolean_interface)
+        job = service.submit(_config(30, seed=63))
+        for _ in job.stream(limit=15):
+            pass
+        job.pause()
+        checkpoint_queries = job.queries_issued
+        checkpoint_attempts = job.session.attempts
+        assert checkpoint_queries > 0
+
+        restored = SamplingJob.restore(job.snapshot(), boolean_interface)
+        assert restored.queries_issued == checkpoint_queries
+        restored.resume()
+        result = restored.run()
+        # Pre-checkpoint queries and attempts both survive, so the per-sample
+        # cost is computed over the job's whole life, not just the tail.
+        assert result.queries_issued >= checkpoint_queries
+        assert result.attempts >= checkpoint_attempts
+        assert result.queries_per_sample >= 1.0
+
+    def test_adopt_refuses_to_replace_a_registered_job(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(3, seed=64), job_id="busy")
+        with pytest.raises(ConfigurationError):
+            service.adopt(job.snapshot())
+
+    def test_auto_ids_skip_adopted_ids(self, tiny_interface):
+        donor = SamplingService(tiny_interface)
+        snapshot = donor.submit(_config(3, seed=65)).snapshot()
+        fresh = SamplingService(tiny_interface)
+        adopted = fresh.adopt(snapshot)
+        # The fresh service's counter must not collide with the adopted id.
+        submitted = fresh.submit(_config(3, seed=66))
+        assert submitted.job_id != adopted.job_id
+        assert len(fresh) == 2
+
+    def test_restore_rejects_unknown_versions(self, tiny_interface):
+        job = SamplingService(tiny_interface).submit(_config(2, seed=14))
+        snapshot = job.snapshot()
+        snapshot["version"] = 99
+        with pytest.raises(ConfigurationError):
+            SamplingJob.restore(snapshot, tiny_interface)
+
+    def test_histograms_rebuild_from_restored_samples(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(10, seed=15))
+        job.run()
+        restored = SamplingJob.restore(job.snapshot(), tiny_interface)
+        assert restored.output.histogram("make").counts == job.output.histogram("make").counts
+
+
+class TestRunAll:
+    def test_run_all_completes_every_job(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        jobs = [service.submit(_config(5, seed=20 + i)) for i in range(3)]
+        results = service.run_all()
+        assert set(results) == {job.job_id for job in jobs}
+        for job in jobs:
+            assert job.state is SessionState.COMPLETED
+            assert results[job.job_id].sample_count == 5
+
+    def test_run_all_is_round_robin_fair(self, tiny_interface):
+        """Active jobs' attempt counts never drift apart by more than one."""
+        service = SamplingService(tiny_interface)
+        jobs = [service.submit(_config(10_000, seed=30 + i)) for i in range(3)]
+        service.run_all(max_steps=31)
+        attempts = [job.session.attempts for job in jobs]
+        assert sum(attempts) == 31
+        assert max(attempts) - min(attempts) <= 1
+
+    def test_run_all_skips_paused_jobs(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        active = service.submit(_config(4, seed=35))
+        parked = service.submit(_config(4, seed=36))
+        parked.pause()
+        service.run_all()
+        assert active.state is SessionState.COMPLETED
+        assert parked.state is SessionState.PAUSED
+        assert parked.samples_collected == 0
+        parked.resume()
+        service.run_all()
+        assert parked.state is SessionState.COMPLETED
+
+    def test_stop_all_throws_every_kill_switch(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        jobs = [service.submit(_config(10_000, seed=40 + i)) for i in range(3)]
+        service.run_all(max_steps=9)
+        service.stop_all()
+        service.run_all()
+        assert all(job.state is SessionState.STOPPED for job in jobs)
+
+    def test_describe_lists_every_job(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        assert service.describe() == "no jobs submitted"
+        job = service.submit(_config(3, seed=50), job_id="alpha")
+        job.run()
+        text = service.describe()
+        assert "alpha" in text and "completed" in text
