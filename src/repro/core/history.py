@@ -20,6 +20,17 @@ whose results can be inferred from the query history."
 * otherwise forward the query to the real interface and remember the answer.
 
 Savings are tracked in :class:`HistoryStatistics`, which benchmark E7 reports.
+
+Complexity contract: a subsuming ancestor's canonical key is, by definition,
+a subset of the query's canonical key, so the default ``inference="indexed"``
+mode answers a submission by enumerating the ≤ 2^|q| predicate subsets of the
+query (|q| is bounded by the schema width, 4–6 in this repo) and probing the
+empty-key/valid-key dictionaries directly — O(2^|q|) dict lookups, independent
+of history size — instead of the O(history) linear subsumption scan of
+``inference="scan"`` (kept as the property-test oracle; the indexed mode also
+falls back to scanning automatically while the history is still smaller than
+the subset count, and for very wide queries).  Bookkeeping uses insertion-
+ordered dicts throughout, so remembering and evicting an entry are O(1).
 """
 
 from __future__ import annotations
@@ -74,19 +85,38 @@ class HistoryStatistics:
 
 
 class QueryHistoryCache:
-    """A caching / inferring proxy in front of a hidden-database interface."""
+    """A caching / inferring proxy in front of a hidden-database interface.
 
-    def __init__(self, database: HiddenDatabase, max_entries: int | None = None) -> None:
+    ``inference`` selects how subsuming ancestors are found: ``"indexed"``
+    (default) probes the key dictionaries with the ≤ 2^|q| predicate subsets
+    of the submitted query; ``"scan"`` linearly scans the history, serving as
+    the equivalence oracle.  Both modes return identical responses.
+    """
+
+    #: Queries wider than this fall back to the linear scan even in indexed
+    #: mode — 2^|q| subset enumeration stops paying off long before that.
+    _MAX_SUBSET_PREDICATES = 20
+
+    def __init__(
+        self,
+        database: HiddenDatabase,
+        max_entries: int | None = None,
+        inference: str = "indexed",
+    ) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive when given")
+        if inference not in ("indexed", "scan"):
+            raise ValueError(f"inference must be 'indexed' or 'scan', got {inference!r}")
         self._database = database
         self._max_entries = max_entries
+        self._inference = inference
         self._responses: dict[tuple, InterfaceResponse] = {}
         #: Canonical keys of valid (non-overflowing, non-empty) responses, the
-        #: only ones usable for subset inference.
-        self._valid_keys: list[tuple] = []
+        #: only ones usable for subset inference.  Dicts-as-ordered-sets: O(1)
+        #: add/discard with deterministic (insertion) iteration order.
+        self._valid_keys: dict[tuple, None] = {}
         #: Canonical keys of empty responses, usable for emptiness inference.
-        self._empty_keys: list[tuple] = []
+        self._empty_keys: dict[tuple, None] = {}
         self.statistics = HistoryStatistics()
         self.last_source: CachedResponseSource = CachedResponseSource.INTERFACE
 
@@ -129,31 +159,64 @@ class QueryHistoryCache:
     # -- inference ---------------------------------------------------------------------
 
     def _infer(self, query: ConjunctiveQuery) -> InterfaceResponse | None:
-        # Emptiness: any cached empty query that subsumes this one proves this
-        # one is empty as well.
-        for empty_key in self._empty_keys:
-            cached = self._responses[empty_key]
-            if cached.query.subsumes(query):
-                return InterfaceResponse(
-                    query=query,
-                    tuples=(),
-                    overflow=False,
-                    reported_count=0 if cached.reported_count is not None else None,
-                    k=self.k,
-                )
-        # Subset inference: a cached valid query returned *all* of its matches,
-        # so a specialisation's answer is the filtered subset.
-        for valid_key in self._valid_keys:
-            cached = self._responses[valid_key]
-            if cached.query.subsumes(query):
-                tuples = tuple(t for t in cached.tuples if self._tuple_matches(query, t))
-                return InterfaceResponse(
-                    query=query,
-                    tuples=tuples,
-                    overflow=False,
-                    reported_count=len(tuples) if cached.reported_count is not None else None,
-                    k=self.k,
-                )
+        ancestor = self._find_subsuming(query, self._empty_keys)
+        if ancestor is not None:
+            # Emptiness: a cached empty query subsuming this one proves this
+            # one is empty as well.
+            return InterfaceResponse(
+                query=query,
+                tuples=(),
+                overflow=False,
+                reported_count=0 if ancestor.reported_count is not None else None,
+                k=self.k,
+            )
+        ancestor = self._find_subsuming(query, self._valid_keys)
+        if ancestor is not None:
+            # Subset inference: a cached valid query returned *all* of its
+            # matches, so a specialisation's answer is the filtered subset.
+            tuples = tuple(t for t in ancestor.tuples if self._tuple_matches(query, t))
+            return InterfaceResponse(
+                query=query,
+                tuples=tuples,
+                overflow=False,
+                reported_count=len(tuples) if ancestor.reported_count is not None else None,
+                k=self.k,
+            )
+        return None
+
+    def _find_subsuming(
+        self, query: ConjunctiveQuery, keys: dict[tuple, None]
+    ) -> InterfaceResponse | None:
+        """A cached response from ``keys`` whose query subsumes ``query``.
+
+        Any subsuming ancestor yields the same inferred answer (an empty
+        ancestor proves emptiness outright; a valid ancestor holds the
+        complete result set, whose filtered-by-``query`` subset is the same
+        rows in the same rank order whichever ancestor is used), so the two
+        lookup strategies are interchangeable.
+        """
+        if not keys:
+            return None
+        key = query.canonical_key()
+        n_predicates = len(key)
+        # Subset enumeration costs 2^|q| probes regardless of history size;
+        # scanning costs one subsumption check per stored key.  Pick whichever
+        # is cheaper, and always scan when asked to (the oracle mode).
+        use_scan = (
+            self._inference == "scan"
+            or n_predicates > self._MAX_SUBSET_PREDICATES
+            or len(keys) < (1 << n_predicates)
+        )
+        if use_scan:
+            for cached_key in keys:
+                cached = self._responses[cached_key]
+                if cached.query.subsumes(query):
+                    return cached
+            return None
+        for mask in range(1 << n_predicates):
+            subset = tuple(key[i] for i in range(n_predicates) if mask >> i & 1)
+            if subset in keys:
+                return self._responses[subset]
         return None
 
     @staticmethod
@@ -166,21 +229,28 @@ class QueryHistoryCache:
     # -- cache maintenance ----------------------------------------------------------------
 
     def _remember(self, key: tuple, response: InterfaceResponse) -> None:
-        if self._max_entries is not None and len(self._responses) >= self._max_entries:
-            self._evict_oldest()
+        if key not in self._responses:
+            # Only a genuinely new key can push the cache over its limit;
+            # overwriting in place (e.g. re-importing a checkpoint) must not
+            # evict an unrelated entry.
+            if self._max_entries is not None and len(self._responses) >= self._max_entries:
+                self._evict_oldest()
+        else:
+            # Reclassify cleanly on overwrite.
+            self._valid_keys.pop(key, None)
+            self._empty_keys.pop(key, None)
         self._responses[key] = response
         if response.empty:
-            self._empty_keys.append(key)
+            self._empty_keys[key] = None
         elif not response.overflow:
-            self._valid_keys.append(key)
+            self._valid_keys[key] = None
 
     def _evict_oldest(self) -> None:
+        """Drop the least recently *inserted* entry — O(1) bookkeeping."""
         oldest_key = next(iter(self._responses))
         del self._responses[oldest_key]
-        if oldest_key in self._valid_keys:
-            self._valid_keys.remove(oldest_key)
-        if oldest_key in self._empty_keys:
-            self._empty_keys.remove(oldest_key)
+        self._valid_keys.pop(oldest_key, None)
+        self._empty_keys.pop(oldest_key, None)
 
     def clear(self) -> None:
         """Forget every cached response (statistics are kept)."""

@@ -18,6 +18,7 @@ from repro.database.ranking import (
     StaticScoreRanking,
 )
 from repro.database.engine import QueryEngine, QueryOutcome, QueryResult
+from repro.database.index import RankCache, TableIndex
 from repro.database.interface import CountMode, HiddenDatabaseInterface, InterfaceStatistics
 from repro.database.limits import QueryBudget
 from repro.database.stats import ground_truth_aggregate, ground_truth_marginal
@@ -38,7 +39,9 @@ __all__ = [
     "QueryEngine",
     "QueryOutcome",
     "QueryResult",
+    "RankCache",
     "RankingFunction",
+    "TableIndex",
     "Schema",
     "StaticScoreRanking",
     "Table",

@@ -5,6 +5,15 @@ query against the full table, rank the qualifying tuples with the proprietary
 ranking function, and return at most ``k`` of them together with an overflow
 flag.  Nothing in here is visible to the sampler except through
 :class:`~repro.database.interface.HiddenDatabaseInterface`.
+
+Complexity contract: by default the engine evaluates queries on the table's
+:class:`~repro.database.index.TableIndex` — smallest-first posting-list
+intersection for matching, ``count()`` without row materialisation, and
+memoised rank positions for ``VALID`` ordering / ``OVERFLOW`` top-k — so one
+query costs O(min-posting · |q|) plus O(m log m) integer sorting instead of a
+full O(rows · |q|) scan with per-comparison rank-key recomputation.  Passing
+``use_index=False`` restores the naive scan, which the property tests use as
+the oracle the indexed path must match result-for-result.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.database.index import RankCache
 from repro.database.query import ConjunctiveQuery
 from repro.database.ranking import RankingFunction, RowIdRanking
 from repro.database.table import Row, Table
@@ -72,22 +82,51 @@ class QueryEngine:
     ranking:
         Deterministic ranking function used to pick which tuples are shown
         when a query overflows.  Defaults to ranking by row id.
+    use_index:
+        When true (the default) conjunctive queries are answered from the
+        table's inverted index and the memoised rank order; when false every
+        query falls back to the naive full scan (the test oracle).
     """
 
-    def __init__(self, table: Table, k: int, ranking: RankingFunction | None = None) -> None:
+    def __init__(
+        self,
+        table: Table,
+        k: int,
+        ranking: RankingFunction | None = None,
+        use_index: bool = True,
+    ) -> None:
         if k <= 0:
             raise ValueError("k must be a positive integer")
         self.table = table
         self.k = k
         self.ranking = ranking if ranking is not None else RowIdRanking()
+        self.use_index = use_index
+        self._rank_cache: RankCache | None = None
 
     def matching_row_ids(self, query: ConjunctiveQuery) -> list[int]:
         """Row ids of every tuple satisfying ``query`` (no top-k applied)."""
+        if self.use_index:
+            return self.table.index.matching_row_ids(query)
         return self.table.matching_row_ids(query.matches)
 
     def count(self, query: ConjunctiveQuery) -> int:
-        """Exact number of tuples satisfying ``query``."""
-        return len(self.matching_row_ids(query))
+        """Exact number of tuples satisfying ``query`` (no rows materialised)."""
+        if self.use_index:
+            return self.table.index.count(query)
+        return len(self.table.matching_row_ids(query.matches))
+
+    def _ranked(self, matching: list[int], k: int | None) -> tuple[int, ...]:
+        """Rank ``matching`` (all of it, or its top ``k``) deterministically."""
+        if self.use_index:
+            cache = self._rank_cache
+            if cache is None:
+                cache = self._rank_cache = self.table.index.rank_cache(self.ranking)
+            if k is None:
+                return tuple(cache.order(matching))
+            return tuple(cache.top_k(matching, k))
+        if k is None:
+            return tuple(self.ranking.order(self.table, matching))
+        return tuple(self.ranking.top_k(self.table, matching, k))
 
     def execute(self, query: ConjunctiveQuery) -> QueryResult:
         """Evaluate ``query`` and apply the top-``k`` display restriction."""
@@ -96,10 +135,8 @@ class QueryEngine:
         if total == 0:
             return QueryResult(query, QueryOutcome.EMPTY, (), 0, self.k)
         if total <= self.k:
-            shown = tuple(self.ranking.order(self.table, matching))
-            return QueryResult(query, QueryOutcome.VALID, shown, total, self.k)
-        shown = tuple(self.ranking.top_k(self.table, matching, self.k))
-        return QueryResult(query, QueryOutcome.OVERFLOW, shown, total, self.k)
+            return QueryResult(query, QueryOutcome.VALID, self._ranked(matching, None), total, self.k)
+        return QueryResult(query, QueryOutcome.OVERFLOW, self._ranked(matching, self.k), total, self.k)
 
     def rows(self, row_ids: Sequence[int]) -> list[Row]:
         """Materialise rows by id (what the result page displays)."""

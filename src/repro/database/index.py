@@ -1,0 +1,230 @@
+"""Inverted-index acceleration structures for the hidden-table read path.
+
+The naive back end answers every conjunctive query with a full Python scan:
+``Table.matching_row_ids`` re-evaluates ``ConjunctiveQuery.matches`` row by
+row, re-resolving numeric buckets on each visit, and every overflow re-sorts
+the qualifying rows with per-row rank-key recomputation.  That caps the table
+sizes and concurrent-job counts the sampling service can drive.  This module
+factorises that work into two one-time structures:
+
+* :class:`TableIndex` — built once per :class:`~repro.database.table.Table`.
+  Each searchable attribute is encoded into a columnar array of *selectable*
+  values (numeric rows are binned once via :func:`bisect.bisect_right` over
+  the domain's precomputed sorted bucket edges, not per query), and inverted
+  posting lists ``(attribute, value) -> sorted tuple of row ids`` are derived
+  from the columns.  A conjunctive query is then answered by intersecting its
+  predicates' posting lists smallest-first.
+
+* :class:`RankCache` — built once per (table, ranking-function) pair and
+  memoised on the index.  It computes every row's rank key exactly once,
+  sorts the table into a global rank order, and exposes O(1) row-id → rank
+  position lookups, so ``VALID`` ordering and ``OVERFLOW`` top-k reduce to
+  sorting small integer positions (or a ``heapq.nsmallest`` over them)
+  instead of re-running the ranking function per comparison.
+
+Complexity contracts (n = rows, m = matching rows, q = query predicates,
+k = display limit):
+
+============================  ==============================  ===================
+operation                     naive scan                      indexed
+============================  ==============================  ===================
+build (once per table)        —                               O(n · |schema|)
+``matching_row_ids(query)``   O(n · q) bucket re-resolution   O(min-posting · q)
+``count(query)``              O(n · q)                        O(min-posting · q)
+``VALID`` ordering            O(m log m) key recomputation    O(m log m) int sort
+``OVERFLOW`` top-k            O(m log m) key recomputation    O(m log k) int heap
+============================  ==============================  ===================
+
+The naive path remains available (``QueryEngine(..., use_index=False)``) both
+as an escape hatch for non-conjunctive predicates and as the oracle the
+property tests compare the indexed path against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.database.schema import AttributeKind, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.database.query import ConjunctiveQuery
+    from repro.database.ranking import RankingFunction
+    from repro.database.table import Table
+
+
+class _Unbinnable:
+    """Sentinel selectable value for rows outside every numeric bucket.
+
+    Only reachable on tables built with ``validate=False``; such rows match no
+    selectable query value (the scan path instead raises when a query touches
+    the attribute, which validated tables never trigger).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbinnable>"
+
+
+_UNBINNABLE = _Unbinnable()
+
+
+class RankCache:
+    """The memoised total order of one ranking function over one table.
+
+    ``by_rank`` is the whole table sorted best-first by ``(key, row_id)`` —
+    exactly the tie-breaking rule of :meth:`RankingFunction.order` — and
+    ``position[row_id]`` is the row's place in that order, so ranking any
+    subset of rows never calls the ranking function again.
+    """
+
+    __slots__ = ("by_rank", "position")
+
+    def __init__(self, table: "Table", ranking: "RankingFunction") -> None:
+        keys = ranking.keys_for_table(table)
+        self.by_rank: list[int] = sorted(
+            range(len(keys)), key=lambda row_id: (keys[row_id], row_id)
+        )
+        self.position: list[int] = [0] * len(self.by_rank)
+        for position, row_id in enumerate(self.by_rank):
+            self.position[row_id] = position
+
+    def order(self, row_ids: Iterable[int]) -> list[int]:
+        """``row_ids`` sorted best-first; identical to the naive ``order``."""
+        return sorted(row_ids, key=self.position.__getitem__)
+
+    def top_k(self, row_ids: Iterable[int], k: int) -> list[int]:
+        """The ``k`` best of ``row_ids``; identical to the naive ``top_k``."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return heapq.nsmallest(k, row_ids, key=self.position.__getitem__)
+
+
+class TableIndex:
+    """Columnar selectable encoding plus inverted posting lists of one table.
+
+    Immutable after construction, like the table itself.  Built lazily through
+    :attr:`Table.index` (and eagerly for validated tables) so every engine and
+    interface over the same table shares one copy.
+    """
+
+    def __init__(self, table: "Table") -> None:
+        self._table = table
+        self._n_rows = len(table)
+        columns: dict[str, list[Value]] = {}
+        postings: dict[tuple[str, Value], tuple[int, ...]] = {}
+        for attribute in table.schema:
+            name = attribute.name
+            if attribute.kind is AttributeKind.NUMERIC:
+                column = self._encode_numeric_column(table, name, attribute.domain)
+            else:
+                column = [row[name] for row in table.rows]
+            columns[name] = column
+            by_value: dict[Value, list[int]] = {}
+            for row_id, value in enumerate(column):
+                if value is _UNBINNABLE:
+                    continue
+                by_value.setdefault(value, []).append(row_id)
+            for value, row_ids in by_value.items():
+                postings[(name, value)] = tuple(row_ids)
+        self._columns = columns
+        self._postings = postings
+        self._posting_sets: dict[tuple[str, Value], frozenset[int]] = {
+            key: frozenset(row_ids) for key, row_ids in postings.items()
+        }
+        #: ranking object -> RankCache; weakly keyed (rankings have identity
+        #: hash) so caches die with their ranking instead of accreting on the
+        #: table-lifetime index as engines come and go.
+        self._rank_caches: "weakref.WeakKeyDictionary[RankingFunction, RankCache]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    @staticmethod
+    def _encode_numeric_column(table: "Table", name: str, domain) -> list[Value]:
+        lows, highs, labels = domain.bucket_search_arrays()
+        column: list[Value] = []
+        for row in table.rows:
+            raw = float(row[name])  # type: ignore[arg-type]
+            slot = bisect_right(lows, raw) - 1
+            if slot >= 0 and raw < highs[slot]:
+                column.append(labels[slot])
+            else:
+                column.append(_UNBINNABLE)
+        return column
+
+    # -- columnar access ----------------------------------------------------
+
+    @property
+    def table(self) -> "Table":
+        """The table this index accelerates."""
+        return self._table
+
+    def selectable_column(self, attribute_name: str) -> Sequence[Value]:
+        """The columnar selectable encoding of one searchable attribute."""
+        return self._columns[attribute_name]
+
+    def posting_list(self, attribute_name: str, value: Value) -> tuple[int, ...]:
+        """Sorted row ids whose ``attribute_name`` encodes to ``value``."""
+        return self._postings.get((attribute_name, value), ())
+
+    # -- conjunctive evaluation ---------------------------------------------
+
+    def matching_row_ids(self, query: "ConjunctiveQuery") -> list[int]:
+        """All row ids matching ``query``, ascending (same order as a scan).
+
+        Posting lists are intersected smallest-first: the shortest list is
+        walked in order while the others answer O(1) membership probes.
+        """
+        predicates = query.predicates
+        if not predicates:
+            return list(range(self._n_rows))
+        keys = []
+        for predicate in predicates:
+            key = (predicate.attribute, predicate.value)
+            if key not in self._postings:
+                return []
+            keys.append(key)
+        keys.sort(key=lambda key: len(self._postings[key]))
+        smallest = self._postings[keys[0]]
+        if len(keys) == 1:
+            return list(smallest)
+        others = [self._posting_sets[key] for key in keys[1:]]
+        return [
+            row_id
+            for row_id in smallest
+            if all(row_id in posting for posting in others)
+        ]
+
+    def count(self, query: "ConjunctiveQuery") -> int:
+        """Number of rows matching ``query``, without materialising them."""
+        predicates = query.predicates
+        if not predicates:
+            return self._n_rows
+        if len(predicates) == 1:
+            predicate = predicates[0]
+            return len(self.posting_list(predicate.attribute, predicate.value))
+        return len(self.matching_row_ids(query))
+
+    # -- rank caches ---------------------------------------------------------
+
+    def rank_cache(self, ranking: "RankingFunction") -> RankCache:
+        """The memoised :class:`RankCache` for ``ranking`` (built on first use).
+
+        Keyed by ranking-object identity, weakly: a cache lives exactly as
+        long as something (typically a :class:`QueryEngine`) keeps its
+        ranking alive.
+        """
+        cache = self._rank_caches.get(ranking)
+        if cache is None:
+            cache = RankCache(self._table, ranking)
+            self._rank_caches[ranking] = cache
+        return cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableIndex(table={self._table.name!r}, rows={self._n_rows}, "
+            f"postings={len(self._postings)})"
+        )

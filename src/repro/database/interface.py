@@ -160,6 +160,9 @@ class HiddenDatabaseInterface:
         Extra non-searchable columns shown on result pages (e.g. a title).
     seed:
         Seed for the count-noise generator.
+    use_index:
+        Forwarded to :class:`~repro.database.engine.QueryEngine`; false forces
+        the naive full-scan evaluation (the equivalence oracle in tests).
     """
 
     def __init__(
@@ -172,10 +175,11 @@ class HiddenDatabaseInterface:
         budget: QueryBudget | None = None,
         display_columns: Sequence[str] = (),
         seed: int | random.Random | None = 0,
+        use_index: bool = True,
     ) -> None:
         if count_noise < 0:
             raise InterfaceError("count_noise must be non-negative")
-        self._engine = QueryEngine(table, k=k, ranking=ranking)
+        self._engine = QueryEngine(table, k=k, ranking=ranking, use_index=use_index)
         self._table = table
         self.count_mode = count_mode
         self.count_noise = count_noise

@@ -76,6 +76,12 @@ class ConjunctiveQuery:
             ordered.append(predicate)
         self._predicates: tuple[Predicate, ...] = tuple(ordered)
         self._by_attribute: Mapping[str, Predicate] = dict(seen)
+        # Queries are immutable, so derived forms computed on hot paths (the
+        # history cache keys every submission on the canonical form) are
+        # memoised on first use.
+        self._canonical_key: tuple[tuple[str, Value], ...] | None = None
+        self._attribute_set: frozenset[str] | None = None
+        self._hash: int | None = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -102,9 +108,17 @@ class ConjunctiveQuery:
         return tuple(predicate.attribute for predicate in self._predicates)
 
     @property
+    def constrained_attribute_set(self) -> frozenset[str]:
+        """The constrained attribute names as a (memoised) frozen set."""
+        attribute_set = self._attribute_set
+        if attribute_set is None:
+            attribute_set = self._attribute_set = frozenset(self._by_attribute)
+        return attribute_set
+
+    @property
     def free_attributes(self) -> tuple[str, ...]:
         """Schema attributes not yet constrained (candidates for drill-down)."""
-        constrained = set(self._by_attribute)
+        constrained = self.constrained_attribute_set
         return tuple(name for name in self.schema.attribute_names if name not in constrained)
 
     def value_of(self, attribute: str) -> Value | None:
@@ -128,7 +142,10 @@ class ConjunctiveQuery:
         return self.schema == other.schema and self._by_attribute == other._by_attribute
 
     def __hash__(self) -> int:
-        return hash((self.schema, frozenset(self._by_attribute.items())))
+        value = self._hash
+        if value is None:
+            value = self._hash = hash((self.schema, self.canonical_key()))
+        return value
 
     def __str__(self) -> str:
         if not self._predicates:
@@ -146,9 +163,15 @@ class ConjunctiveQuery:
 
         Two queries with the same predicates added in different orders answer
         identically, so the query-history cache (paper Section 3.2) keys its
-        entries on this canonical form.
+        entries on this canonical form.  Memoised: the cache calls this on
+        every submission.
         """
-        return tuple(sorted(((p.attribute, p.value) for p in self._predicates), key=lambda item: item[0]))
+        key = self._canonical_key
+        if key is None:
+            key = self._canonical_key = tuple(
+                sorted(((p.attribute, p.value) for p in self._predicates), key=lambda item: item[0])
+            )
+        return key
 
     # -- algebra ---------------------------------------------------------------
 

@@ -18,6 +18,7 @@ benchmarks can confirm the samplers' correctness is ranking-agnostic:
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import Mapping, Sequence
 
 from repro._rng import stable_hash
@@ -32,15 +33,27 @@ class RankingFunction(abc.ABC):
     def key(self, row_id: int, row: Row) -> float:
         """Return the sort key of ``row`` (ties broken by row id)."""
 
+    def keys_for_table(self, table: Table) -> list[float]:
+        """All rank keys of ``table`` in one pass (index = row id).
+
+        :class:`repro.database.index.RankCache` calls this exactly once per
+        (table, ranking) pair and never recomputes a key afterwards.
+        Subclasses whose per-call ``key`` repeats row-independent work may
+        override this with a vectorised pass.
+        """
+        return [self.key(row_id, row) for row_id, row in enumerate(table.rows)]
+
     def order(self, table: Table, row_ids: Sequence[int]) -> list[int]:
         """Return ``row_ids`` sorted by rank (best first, deterministic)."""
         return sorted(row_ids, key=lambda row_id: (self.key(row_id, table[row_id]), row_id))
 
     def top_k(self, table: Table, row_ids: Sequence[int], k: int) -> list[int]:
-        """The ``k`` best row ids among ``row_ids``."""
+        """The ``k`` best row ids among ``row_ids`` (same order as ``order``)."""
         if k < 0:
             raise ValueError("k must be non-negative")
-        return self.order(table, row_ids)[:k]
+        return heapq.nsmallest(
+            k, row_ids, key=lambda row_id: (self.key(row_id, table[row_id]), row_id)
+        )
 
 
 class StaticScoreRanking(RankingFunction):

@@ -19,6 +19,7 @@ attribute when extending a query.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -87,6 +88,11 @@ class Domain:
             self._buckets = tuple(buckets)
             self._check_buckets(self._buckets)
             self._values: tuple[Value, ...] = tuple(bucket.label for bucket in self._buckets)
+            ordered = sorted(self._buckets, key=lambda bucket: bucket.low)
+            self._sorted_lows: tuple[float, ...] = tuple(bucket.low for bucket in ordered)
+            self._sorted_highs: tuple[float, ...] = tuple(bucket.high for bucket in ordered)
+            self._sorted_buckets: tuple[NumericBucket, ...] = tuple(ordered)
+            self._sorted_labels: tuple[str, ...] = tuple(bucket.label for bucket in ordered)
         else:
             if buckets is not None:
                 raise SchemaError("only numeric domains take buckets")
@@ -101,6 +107,10 @@ class Domain:
                 raise SchemaError("domain values must be unique")
             self._values = unique
             self._buckets = ()
+            self._sorted_lows = ()
+            self._sorted_highs = ()
+            self._sorted_buckets = ()
+            self._sorted_labels = ()
 
     @staticmethod
     def _check_buckets(buckets: Sequence[NumericBucket]) -> None:
@@ -171,13 +181,25 @@ class Domain:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Domain(kind={self.kind.value}, size={self.size})"
 
+    def bucket_search_arrays(self) -> tuple[tuple[float, ...], tuple[float, ...], tuple[str, ...]]:
+        """Parallel ``(lows, highs, labels)`` arrays sorted by bucket low edge.
+
+        Precomputed at construction so callers (bucket lookup here, columnar
+        encoding in :mod:`repro.database.index`) can bin a raw value with one
+        :func:`bisect.bisect_right` instead of a linear bucket scan.
+        """
+        if self.kind is not AttributeKind.NUMERIC:
+            raise SchemaError("bucket_search_arrays is only defined for numeric domains")
+        return self._sorted_lows, self._sorted_highs, self._sorted_labels
+
     def bucket_for(self, raw_value: float) -> NumericBucket | None:
         """Return the bucket containing ``raw_value`` or ``None`` if out of range."""
         if self.kind is not AttributeKind.NUMERIC:
             raise SchemaError("bucket_for is only defined for numeric domains")
-        for bucket in self._buckets:
-            if bucket.contains(float(raw_value)):
-                return bucket
+        value = float(raw_value)
+        slot = bisect_right(self._sorted_lows, value) - 1
+        if slot >= 0 and value < self._sorted_highs[slot]:
+            return self._sorted_buckets[slot]
         return None
 
     def selectable_value_for(self, raw_value: Value) -> Value:

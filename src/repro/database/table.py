@@ -9,10 +9,13 @@ and can translate between the two representations.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.database.schema import AttributeKind, Schema, Value
 from repro.exceptions import DomainValueError, SchemaError, UnknownAttributeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.database.index import TableIndex
 
 Row = Mapping[str, Value]
 
@@ -36,8 +39,12 @@ class Table:
         self.schema = schema
         self.name = name or schema.name
         self._rows: tuple[dict[str, Value], ...] = tuple(dict(row) for row in rows)
+        self._index: "TableIndex | None" = None
         if validate:
             self._validate()
+            # Validated tables pay the (linear) index build up front so every
+            # engine/interface over them shares the posting lists from query one.
+            _ = self.index
 
     def _validate(self) -> None:
         for index, row in enumerate(self._rows):
@@ -69,15 +76,39 @@ class Table:
         """All rows of the table, in insertion order (row id = position)."""
         return self._rows
 
+    @property
+    def index(self) -> "TableIndex":
+        """The table's inverted index, built on first access and then shared.
+
+        Tables are immutable, so one :class:`~repro.database.index.TableIndex`
+        serves every query engine and interface over this table.  Validated
+        tables build it at construction; ``validate=False`` tables (e.g. the
+        throwaway results of :meth:`select`/:meth:`project`) defer the build
+        until something actually queries them.
+        """
+        index = self._index
+        if index is None:
+            from repro.database.index import TableIndex
+
+            index = self._index = TableIndex(self)
+        return index
+
     def row_ids(self) -> range:
         """Row identifiers, used by samplers to de-duplicate drawn tuples."""
         return range(len(self._rows))
 
     def column(self, name: str) -> list[Value]:
-        """Return all raw values of column ``name`` (searchable or hidden)."""
+        """Return all raw values of column ``name`` (searchable or hidden).
+
+        Hidden columns may be sparse (e.g. only some listings carry a static
+        score): the column exists if *any* row carries it, and rows without it
+        contribute ``None`` holes.  Unknown names — including every
+        non-searchable name on an empty table — raise
+        :class:`UnknownAttributeError`.
+        """
         if name in self.schema:
             return [row[name] for row in self._rows]
-        if self._rows and name in self._rows[0]:
+        if any(name in row for row in self._rows):
             return [row.get(name) for row in self._rows]
         raise UnknownAttributeError(name, self.schema.attribute_names)
 

@@ -115,6 +115,50 @@ class TestCacheMaintenance:
         with pytest.raises(ValueError):
             QueryHistoryCache(tiny_interface, max_entries=0)
 
+    def test_inference_mode_is_validated(self, tiny_interface):
+        with pytest.raises(ValueError):
+            QueryHistoryCache(tiny_interface, inference="magic")
+
+    def test_eviction_keeps_key_indexes_consistent(self, tiny_interface, tiny_schema):
+        """Evicted keys disappear from the valid/empty indexes in O(1) and can
+        no longer be used for inference."""
+        cached = QueryHistoryCache(tiny_interface, max_entries=2)
+        valid = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda"})
+        empty = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "price": "0-10000"})
+        cached.submit(valid)   # valid entry
+        cached.submit(empty)   # empty entry
+        assert cached._valid_keys.keys() == {valid.canonical_key()}
+        assert cached._empty_keys.keys() == {empty.canonical_key()}
+        # A third distinct entry evicts the oldest (the valid one).
+        other = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford"})
+        cached.submit(other)
+        assert len(cached) == 2
+        assert valid.canonical_key() not in cached._valid_keys
+        # The evicted valid ancestor must no longer feed subset inference.
+        issued = tiny_interface.statistics.queries_issued
+        cached.submit(valid.specialise("color", "red"))
+        assert tiny_interface.statistics.queries_issued == issued + 1
+
+    def test_reimporting_existing_entries_does_not_evict_others(self, tiny_table, tiny_schema):
+        """Overwriting a cached key in place (checkpoint re-import) must not
+        push an unrelated entry out of a full cache."""
+        from repro.database.interface import HiddenDatabaseInterface
+
+        interface = HiddenDatabaseInterface(tiny_table, k=2)
+        cached = QueryHistoryCache(interface, max_entries=2)
+        first = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford"})
+        second = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda"})
+        cached.submit(first)
+        cached.submit(second)
+        snapshot = cached.export_entries()
+        assert cached.import_entries(snapshot) == 2
+        assert len(cached) == 2
+        # Both original entries are still answerable without the interface.
+        issued = interface.statistics.queries_issued
+        cached.submit(first)
+        cached.submit(second)
+        assert interface.statistics.queries_issued == issued
+
     def test_cache_exposes_schema_k_and_inner(self, cached, tiny_interface):
         assert cached.schema == tiny_interface.schema
         assert cached.k == tiny_interface.k

@@ -1,0 +1,105 @@
+"""Unit tests for the inverted-index subsystem (posting lists, rank caches)."""
+
+import pytest
+
+from repro.database.engine import QueryEngine, QueryOutcome
+from repro.database.index import RankCache, TableIndex
+from repro.database.interface import HiddenDatabaseInterface
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import HashRanking, StaticScoreRanking
+from repro.database.table import Table
+
+
+class TestTableIndex:
+    def test_index_is_built_once_and_shared(self, tiny_table):
+        index = tiny_table.index
+        assert index is tiny_table.index
+        assert QueryEngine(tiny_table, k=2).table.index is index
+
+    def test_posting_lists_are_sorted_row_ids(self, tiny_table):
+        index = tiny_table.index
+        assert index.posting_list("make", "Toyota") == (0, 1, 2, 3)
+        assert index.posting_list("color", "red") == (0, 2, 4, 6)
+        assert index.posting_list("price", "0-10000") == (0, 3, 6)
+        assert index.posting_list("make", "Tesla") == ()
+
+    def test_numeric_column_is_binned_once_into_labels(self, tiny_table):
+        column = tiny_table.index.selectable_column("price")
+        assert list(column)[:3] == ["0-10000", "10000-20000", "20000-40000"]
+
+    def test_matching_row_ids_intersects_ascending(self, tiny_table, tiny_schema):
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota", "color": "red"})
+        assert tiny_table.index.matching_row_ids(query) == [0, 2]
+        root = ConjunctiveQuery.empty(tiny_schema)
+        assert tiny_table.index.matching_row_ids(root) == list(range(8))
+
+    def test_count_without_materialising_rows(self, tiny_table, tiny_schema):
+        index = tiny_table.index
+        assert index.count(ConjunctiveQuery.empty(tiny_schema)) == 8
+        assert index.count(ConjunctiveQuery.from_assignment(tiny_schema, {"color": "red"})) == 4
+        assert index.count(
+            ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "price": "0-10000"})
+        ) == 0
+
+    def test_unvalidated_out_of_bucket_rows_match_nothing(self, tiny_schema):
+        table = Table(
+            tiny_schema,
+            [{"make": "Ford", "color": "red", "price": 999_999.0}],
+            validate=False,
+        )
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"price": "0-10000"})
+        assert table.index.matching_row_ids(query) == []
+        assert table.index.posting_list("make", "Ford") == (0,)
+
+    def test_rank_cache_is_memoised_per_ranking_instance(self, tiny_table):
+        index = tiny_table.index
+        ranking = StaticScoreRanking()
+        assert index.rank_cache(ranking) is index.rank_cache(ranking)
+        assert index.rank_cache(ranking) is not index.rank_cache(StaticScoreRanking())
+
+    def test_rank_caches_die_with_their_ranking(self, tiny_table):
+        """Caches are weakly keyed so churning engines cannot accrete memory
+        on the table-lifetime index."""
+        import gc
+
+        index = tiny_table.index
+        baseline = len(index._rank_caches)
+        ranking = StaticScoreRanking()
+        index.rank_cache(ranking)
+        assert len(index._rank_caches) == baseline + 1
+        del ranking
+        gc.collect()
+        assert len(index._rank_caches) == baseline
+
+
+class TestRankCache:
+    @pytest.mark.parametrize("ranking", [StaticScoreRanking(), HashRanking("idx")])
+    def test_order_and_top_k_match_the_naive_ranking(self, tiny_table, ranking):
+        cache = RankCache(tiny_table, ranking)
+        ids = [5, 0, 7, 2, 3]
+        assert cache.order(ids) == ranking.order(tiny_table, ids)
+        assert cache.top_k(ids, 2) == ranking.top_k(tiny_table, ids, 2)
+        assert cache.top_k(ids, 99) == ranking.top_k(tiny_table, ids, 99)
+        with pytest.raises(ValueError):
+            cache.top_k(ids, -1)
+
+    def test_by_rank_is_a_permutation_of_all_rows(self, tiny_table):
+        cache = RankCache(tiny_table, HashRanking("perm"))
+        assert sorted(cache.by_rank) == list(range(len(tiny_table)))
+        assert [cache.position[row_id] for row_id in cache.by_rank] == list(range(len(tiny_table)))
+
+
+class TestEngineFlag:
+    def test_scan_engine_never_touches_the_index_rank_caches(self, tiny_table, tiny_schema):
+        engine = QueryEngine(tiny_table, k=2, ranking=StaticScoreRanking(), use_index=False)
+        result = engine.execute(ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Toyota"}))
+        assert result.outcome is QueryOutcome.OVERFLOW
+        assert engine._rank_cache is None
+
+    def test_interface_forwards_use_index(self, tiny_table, tiny_schema):
+        fast = HiddenDatabaseInterface(tiny_table, k=2, use_index=True)
+        slow = HiddenDatabaseInterface(tiny_table, k=2, use_index=False)
+        query = ConjunctiveQuery.from_assignment(tiny_schema, {"color": "blue"})
+        assert [t.tuple_id for t in fast.submit(query).tuples] == [
+            t.tuple_id for t in slow.submit(query).tuples
+        ]

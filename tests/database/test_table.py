@@ -40,6 +40,22 @@ class TestAccess:
         with pytest.raises(UnknownAttributeError):
             tiny_table.column("missing")
 
+    def test_column_finds_hidden_columns_missing_from_the_first_row(self, tiny_schema):
+        """A sparse hidden column exists if *any* row carries it; absent rows
+        contribute ``None`` holes."""
+        rows = [
+            {"make": "Ford", "color": "red", "price": 5_000.0},
+            {"make": "Honda", "color": "red", "price": 5_000.0, "note": "clean"},
+        ]
+        table = Table(tiny_schema, rows)
+        assert table.column("note") == [None, "clean"]
+
+    def test_column_on_empty_table_raises_for_non_searchable_names(self, tiny_schema):
+        table = Table(tiny_schema, [])
+        assert table.column("make") == []
+        with pytest.raises(UnknownAttributeError):
+            table.column("score")
+
     def test_selectable_row_translates_numeric_to_bucket_labels(self, tiny_table):
         selectable = tiny_table.selectable_row(tiny_table[0])
         assert selectable == {"make": "Toyota", "color": "red", "price": "0-10000"}

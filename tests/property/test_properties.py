@@ -17,9 +17,14 @@ from repro.analytics.histogram import Histogram
 from repro.analytics.skew import kl_divergence, total_variation_distance
 from repro.core.history import QueryHistoryCache
 from repro.database.engine import QueryEngine
-from repro.database.interface import HiddenDatabaseInterface
+from repro.database.interface import CountMode, HiddenDatabaseInterface
 from repro.database.query import ConjunctiveQuery
-from repro.database.ranking import HashRanking
+from repro.database.ranking import (
+    AttributeWeightedRanking,
+    HashRanking,
+    RowIdRanking,
+    StaticScoreRanking,
+)
 from repro.database.schema import Attribute, Domain, Schema
 from repro.database.table import Table
 from repro.web.urlcodec import decode_query, encode_query
@@ -186,6 +191,91 @@ class TestEngineProperties:
         result = engine.execute(query)
         assert [t.tuple_id for t in response.tuples] == list(result.returned_row_ids)
         assert response.overflow == result.overflow
+
+
+# --------------------------------------------------------------------------------------
+# Indexed evaluation == naive scan (the PR 2 equivalence oracle)
+# --------------------------------------------------------------------------------------
+
+
+def _rankings():
+    """One instance of each concrete ranking function (fresh per example)."""
+    return [
+        RowIdRanking(),
+        StaticScoreRanking("score"),
+        AttributeWeightedRanking({"score": 1.0, "attr0": -0.5}),
+        HashRanking("equivalence"),
+    ]
+
+
+def _random_query_sequence(schema: Schema, rng: random.Random, length: int) -> list[ConjunctiveQuery]:
+    queries = []
+    for _ in range(length):
+        assignment = {}
+        for attribute in schema:
+            if rng.random() < 0.5:
+                assignment[attribute.name] = rng.choice(attribute.domain.values)
+        queries.append(ConjunctiveQuery.from_assignment(schema, assignment))
+    # Re-submit specialisations and repeats to exercise inference and hits.
+    specialised = [
+        q.specialise(q.free_attributes[0], schema.attribute(q.free_attributes[0]).domain.values[0])
+        for q in queries
+        if q.free_attributes
+    ]
+    return queries + specialised + queries
+
+
+class TestIndexedScanEquivalence:
+    @given(data=table_and_query(), k=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_execute_is_identical_under_all_rankings(self, data, k):
+        """Indexed and scan engines return byte-identical QueryResults."""
+        _, table, query = data
+        for ranking in _rankings():
+            indexed = QueryEngine(table, k=k, ranking=ranking, use_index=True)
+            scan = QueryEngine(table, k=k, ranking=ranking, use_index=False)
+            fast = indexed.execute(query)
+            slow = scan.execute(query)
+            assert fast.outcome is slow.outcome
+            assert fast.returned_row_ids == slow.returned_row_ids
+            assert fast.total_count == slow.total_count
+            assert fast.k == slow.k
+            assert indexed.count(query) == scan.count(query)
+            assert indexed.matching_row_ids(query) == scan.matching_row_ids(query)
+
+    @given(
+        data=table_and_query(),
+        k=st.integers(min_value=1, max_value=8),
+        seed=st.integers(0, 1000),
+        max_entries=st.one_of(st.none(), st.integers(min_value=1, max_value=6)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_history_inference_modes_are_equivalent(self, data, k, seed, max_entries):
+        """Subset-key probing and the linear scan infer identical answers,
+        including under ``max_entries`` eviction pressure."""
+        schema, table, _ = data
+        rng = random.Random(seed)
+        indexed_cache = QueryHistoryCache(
+            HiddenDatabaseInterface(table, k=k, ranking=HashRanking("x"), count_mode=CountMode.EXACT),
+            max_entries=max_entries,
+            inference="indexed",
+        )
+        scan_cache = QueryHistoryCache(
+            HiddenDatabaseInterface(table, k=k, ranking=HashRanking("x"), count_mode=CountMode.EXACT),
+            max_entries=max_entries,
+            inference="scan",
+        )
+        for query in _random_query_sequence(schema, rng, 8):
+            via_indexed = indexed_cache.submit(query)
+            via_scan = scan_cache.submit(query)
+            assert via_indexed.overflow == via_scan.overflow
+            assert via_indexed.reported_count == via_scan.reported_count
+            assert [t.tuple_id for t in via_indexed.tuples] == [t.tuple_id for t in via_scan.tuples]
+            assert indexed_cache.last_source is scan_cache.last_source
+            assert len(indexed_cache) == len(scan_cache)
+            if max_entries is not None:
+                assert len(indexed_cache) <= max_entries
+        assert indexed_cache.statistics.as_dict() == scan_cache.statistics.as_dict()
 
 
 # --------------------------------------------------------------------------------------
