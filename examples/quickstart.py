@@ -16,7 +16,7 @@ Run with::
 from __future__ import annotations
 
 from repro import HDSamplerConfig, SamplingService, TradeoffSlider
-from repro.database import HiddenDatabaseInterface
+from repro.backends import engine_stack
 from repro.datasets import VehiclesConfig, generate_vehicles_table
 from repro.datasets.vehicles import default_vehicles_ranking
 
@@ -24,15 +24,18 @@ from repro.datasets.vehicles import default_vehicles_ranking
 def main() -> None:
     # 1. The hidden database: in the paper this is Google Base Vehicles; here
     #    it is a locally simulated catalogue so ground truth is available.
+    #    The access path is a composed backend stack (engine adapter under
+    #    budget/statistics layers) — the classic HiddenDatabaseInterface is
+    #    a thin facade over exactly this.
     table = generate_vehicles_table(VehiclesConfig(n_rows=5_000, seed=1))
-    interface = HiddenDatabaseInterface(
+    interface = engine_stack(
         table,
         k=100,                                  # top-k display limit of the form
         ranking=default_vehicles_ranking(),     # the site's proprietary ranking
         display_columns=("title",),
     )
 
-    # 2. The long-lived service is bound to the interface once; every analyst
+    # 2. The long-lived service is bound to the stack once; every analyst
     #    request below is just a job spec submitted to it.
     service = SamplingService(interface)
 

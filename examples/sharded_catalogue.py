@@ -1,0 +1,81 @@
+"""A sharded catalogue behind the composable backend stack.
+
+A production deployment partitions a large catalogue over several shard
+backends and routes every query through a scatter/gather layer.  The paper's
+guarantee survives intact: the sampler cannot tell — a ``ShardRouter`` over
+four partitions (all sharing ONE ``TableIndex`` and one memoised rank order)
+answers every conjunctive query identically to the unsharded engine, so the
+drawn sample sequence is byte-identical too.
+
+Run with::
+
+    python examples/sharded_catalogue.py
+"""
+
+from __future__ import annotations
+
+from repro import HDSamplerConfig, SamplingService, TradeoffSlider
+from repro.backends import engine_stack, sharded_stack
+from repro.database.limits import QueryBudget
+from repro.datasets import VehiclesConfig, generate_vehicles_table
+from repro.datasets.vehicles import default_vehicles_ranking
+
+N_SHARDS = 4
+
+
+def main() -> None:
+    table = generate_vehicles_table(VehiclesConfig(n_rows=20_000, seed=41))
+    ranking = default_vehicles_ranking()
+
+    # One service, two named backends over the same catalogue: the flat
+    # engine path and a 4-way sharded deployment.  Identical layer stacks
+    # (budget + statistics + count shaping) sit on both.
+    service = SamplingService(
+        {
+            "flat": engine_stack(
+                table, k=100, ranking=ranking, budget=QueryBudget(limit=50_000)
+            ),
+            "sharded": sharded_stack(
+                table, N_SHARDS, k=100, ranking=ranking, budget=QueryBudget(limit=50_000)
+            ),
+        }
+    )
+
+    config = HDSamplerConfig(
+        n_samples=200,
+        attributes=("make", "condition", "body_style"),
+        tradeoff=TradeoffSlider(0.6),
+        seed=7,
+    )
+    flat_job = service.submit(config, backend="flat")
+    sharded_job = service.submit(config, backend="sharded")
+    results = service.run_all()
+
+    flat, sharded = results[flat_job.job_id], results[sharded_job.job_id]
+    flat_ids = [s.tuple_id for s in flat.samples]
+    sharded_ids = [s.tuple_id for s in sharded.samples]
+    assert flat_ids == sharded_ids, "sharding must be invisible to the sampler"
+
+    print(f"{len(table)} vehicles, {N_SHARDS} shards sharing one TableIndex")
+    print(f"flat     path: {service.backend_statistics('flat')['access_path']}")
+    print(f"sharded  path: {service.backend_statistics('sharded')['access_path']}")
+    print()
+    print(
+        f"both jobs drew the identical {flat.sample_count}-sample sequence "
+        f"({flat.queries_issued} queries each); first five tuple ids: {flat_ids[:5]}"
+    )
+    print()
+    print(flat.render_histogram("make"))
+    print()
+    for name in service.backend_names:
+        stats = service.backend_statistics(name)["statistics"]
+        assert stats is not None
+        print(
+            f"{name:>8}: {stats['queries_issued']} issued, "
+            f"{stats['valid_results']} valid, {stats['overflow_results']} overflow, "
+            f"{stats['empty_results']} empty"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,8 @@ Run with::
 from __future__ import annotations
 
 from repro import HDSamplerConfig, SamplingService, TradeoffSlider
-from repro.database import CountMode, HiddenDatabaseInterface
+from repro.backends import engine_stack
+from repro.database import CountMode
 from repro.datasets import VehiclesConfig, generate_vehicles_table
 from repro.datasets.vehicles import default_vehicles_ranking, vehicles_schema
 from repro.web import HiddenWebSite, WebFormClient, parse_form_page
@@ -23,11 +24,14 @@ from repro.web import HiddenWebSite, WebFormClient, parse_form_page
 
 def main() -> None:
     # The data provider's side: database + web server rendering HTML pages.
+    # Served from a backend stack *without* a statistics layer — the client's
+    # own StatisticsLayer is then the one counter of issued queries.
     table = generate_vehicles_table(VehiclesConfig(n_rows=4_000, seed=9))
-    backend = HiddenDatabaseInterface(
+    backend = engine_stack(
         table, k=100, ranking=default_vehicles_ranking(),
         count_mode=CountMode.NOISY, count_noise=0.3,   # Google-Base-style approximate counts
         display_columns=("title",),
+        statistics=False,   # the scraping client owns the one query counter
     )
     site = HiddenWebSite(backend, site_name="Google Base Vehicles (simulated)")
 
@@ -37,11 +41,19 @@ def main() -> None:
     print(f"advertised top-k limit: {form.top_k}")
     print()
 
-    client = WebFormClient(site, vehicles_schema(), display_columns=("title",))
+    # history=True puts the lifted HistoryLayer on the scraping path too, so
+    # repeated and inferable queries stop costing page fetches entirely.
+    client = WebFormClient(
+        site, vehicles_schema(), display_columns=("title",), history=True
+    )
+    # The sampler-core history is off: since the backend-stack refactor the
+    # same optimisation lives *in the access path*, so even a history-less
+    # sampler never pays twice for a repeated or inferable page fetch.
     config = HDSamplerConfig(
         n_samples=150,
         attributes=("make", "color", "body_style"),
         tradeoff=TradeoffSlider(0.5),
+        use_history=False,
         seed=13,
     )
     # The service neither knows nor cares that its backend is scraped HTML:
@@ -53,8 +65,15 @@ def main() -> None:
     print(result.render_histogram("body_style"))
     print()
     print(
-        f"{result.sample_count} samples scraped through {result.queries_issued} HTML result pages "
+        f"{result.sample_count} samples scraped; the sampler asked for {result.queries_issued} "
+        f"queries but only {client.statistics.queries_issued} result pages were fetched "
         f"({site.pages_served} pages served in total, including the form page)"
+    )
+    history = client.history
+    assert history is not None
+    print(
+        f"the client-side HistoryLayer answered {history.statistics.saved} submissions "
+        f"({history.statistics.saving_ratio:.0%}) without any page fetch"
     )
     print("the reported counts on the result pages were approximate and HDSampler ignored")
     print("them, exactly as the paper does for Google Base.")

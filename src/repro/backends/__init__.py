@@ -1,0 +1,60 @@
+"""One composable access path for engine, web, and sharded catalogues.
+
+The package separates *what answers conjunctive queries* (raw backends) from
+*what a client experiences on the way* (middleware layers):
+
+* raw adapters — :class:`~repro.backends.adapters.QueryEngineBackend`
+  (in-process engine) and :class:`~repro.backends.adapters.WebPageBackend`
+  (HTML scraping), plus :class:`~repro.backends.shard.ShardRouter` /
+  :class:`~repro.backends.shard.TableShardBackend` for partitioned
+  catalogues sharing one :class:`~repro.database.index.TableIndex`;
+* layers — :class:`~repro.backends.layers.BudgetLayer`,
+  :class:`~repro.backends.layers.StatisticsLayer`,
+  :class:`~repro.backends.layers.CountModeLayer`,
+  :class:`~repro.backends.layers.UnreliableLayer` and
+  :class:`~repro.backends.history.HistoryLayer`;
+* composition — :class:`~repro.backends.stack.BackendStack` with the curated
+  builders :func:`~repro.backends.stack.engine_stack`,
+  :func:`~repro.backends.stack.web_stack` and
+  :func:`~repro.backends.stack.sharded_stack`.
+
+``HiddenDatabaseInterface`` and ``WebFormClient`` are now thin facades over
+these stacks; see ``docs/architecture.md`` for the full picture.
+"""
+
+from repro.backends.adapters import QueryEngineBackend, WebPageBackend, build_returned_tuple
+from repro.backends.base import BackendLayer, RawBackend, iter_chain
+from repro.backends.history import CachedResponseSource, HistoryLayer, HistoryStatistics
+from repro.backends.layers import (
+    BudgetLayer,
+    CountModeLayer,
+    StatisticsLayer,
+    UnreliableLayer,
+    UnreliableStatistics,
+)
+from repro.backends.shard import ShardRouter, TableShardBackend
+from repro.backends.stack import BackendStack, engine_stack, introspect, sharded_stack, web_stack
+
+__all__ = [
+    "BackendLayer",
+    "BackendStack",
+    "BudgetLayer",
+    "CachedResponseSource",
+    "CountModeLayer",
+    "HistoryLayer",
+    "HistoryStatistics",
+    "QueryEngineBackend",
+    "RawBackend",
+    "ShardRouter",
+    "StatisticsLayer",
+    "TableShardBackend",
+    "UnreliableLayer",
+    "UnreliableStatistics",
+    "WebPageBackend",
+    "build_returned_tuple",
+    "engine_stack",
+    "introspect",
+    "iter_chain",
+    "sharded_stack",
+    "web_stack",
+]

@@ -1,0 +1,197 @@
+"""Composable middleware layers: one client-visible concern per layer.
+
+Each layer wraps any backend (raw adapter, another layer, or a whole stack)
+and adds exactly one of the realities the old monolithic access paths
+hand-rolled:
+
+* :class:`BudgetLayer` — per-client query limits (paper Section 1: providers
+  "limit the maximum number of queries that can be issued by an IP address");
+* :class:`StatisticsLayer` — the interaction bookkeeping every experiment
+  reports; by design the *only* place queries are counted on an access path;
+* :class:`CountModeLayer` — whether the client sees no count, the exact
+  count, or a noisy count (the Google Base situation), lifted out of the
+  interface so any backend — including a shard router — gets it for free;
+* :class:`UnreliableLayer` — injectable rate-limit and transient-failure
+  scenarios with retries, for exercising workloads against flaky sources.
+
+Layer order matters and is part of the contract: the curated compositions in
+:mod:`repro.backends.stack` reproduce the legacy interface and web client
+behaviour bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro._rng import resolve_rng
+from repro.backends.base import BackendLayer, RawBackend
+from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
+from repro.database.limits import QueryBudget
+from repro.database.query import ConjunctiveQuery
+from repro.exceptions import InterfaceError, RateLimitedError, TransientBackendError
+
+
+class BudgetLayer(BackendLayer):
+    """Charges a :class:`~repro.database.limits.QueryBudget` per forwarded query.
+
+    The charge happens *before* the inner backend is touched — a budget
+    violation raises and leaves the hidden database unqueried, exactly like a
+    site that starts refusing requests.
+    """
+
+    def __init__(self, inner: RawBackend, budget: QueryBudget | None = None) -> None:
+        super().__init__(inner)
+        self.budget = budget if budget is not None else QueryBudget()
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        self.budget.charge(1)
+        return self.inner.submit(query)
+
+
+class StatisticsLayer(BackendLayer):
+    """Counts every answered query in one :class:`InterfaceStatistics`.
+
+    A submission that raises below this layer (budget exhausted, transient
+    failure that exhausted its retries) is *not* counted — only answers the
+    client actually received are, matching the legacy interface bookkeeping.
+
+    This layer is the single source of truth for query accounting on its
+    access path; :class:`repro.backends.stack.BackendStack` enforces that a
+    composed chain never contains two of them, which is what used to let a
+    wrapped web client double-count issued queries.
+    """
+
+    def __init__(self, inner: RawBackend, statistics: InterfaceStatistics | None = None) -> None:
+        super().__init__(inner)
+        self.statistics = statistics if statistics is not None else InterfaceStatistics()
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        response = self.inner.submit(query)
+        self.statistics.record(response)
+        return response
+
+    def reset(self) -> None:
+        """Clear the counters (a fresh experiment over a warm backend)."""
+        self.statistics = InterfaceStatistics()
+
+
+class CountModeLayer(BackendLayer):
+    """Shapes the reported count: hide it, pass it through, or perturb it.
+
+    The inner backend is expected to report the exact count (raw adapters
+    do).  ``NONE`` hides it, ``EXACT`` passes it through, ``NOISY`` perturbs
+    it uniformly within ``±noise`` relative error — the "some proprietary
+    algorithm" of Google Base that the paper's system deliberately ignores.
+    """
+
+    def __init__(
+        self,
+        inner: RawBackend,
+        mode: CountMode = CountMode.NONE,
+        noise: float = 0.3,
+        seed: int | random.Random | None = 0,
+    ) -> None:
+        if noise < 0:
+            raise InterfaceError("count_noise must be non-negative")
+        super().__init__(inner)
+        self.mode = mode
+        self.noise = noise
+        self._rng = resolve_rng(seed)
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        response = self.inner.submit(query)
+        return dataclasses.replace(response, reported_count=self._shape(response.reported_count))
+
+    def _shape(self, true_count: int | None) -> int | None:
+        if self.mode is CountMode.NONE:
+            return None
+        if true_count is None:
+            raise InterfaceError(
+                "CountModeLayer needs an exact count from the backend beneath it"
+            )
+        if self.mode is CountMode.EXACT:
+            return true_count
+        if true_count == 0:
+            return 0
+        spread = self.noise * true_count
+        noisy = true_count + self._rng.uniform(-spread, spread)
+        return max(0, int(round(noisy)))
+
+
+@dataclasses.dataclass
+class UnreliableStatistics:
+    """How much injected chaos the layer produced and absorbed."""
+
+    attempts: int = 0            #: forwarded attempts, including retried ones
+    transient_failures: int = 0  #: injected transient faults
+    rate_limited: int = 0        #: injected rate-limit rejections
+    retries: int = 0             #: attempts re-issued after an injected fault
+    gave_up: int = 0             #: submissions that failed even after retrying
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view used by reports and benchmarks."""
+        return dataclasses.asdict(self)
+
+
+class UnreliableLayer(BackendLayer):
+    """Injects rate-limit / transient-failure scenarios, with retries.
+
+    Real scraping workloads see 429s and timeouts; samplers and services
+    built on this stack can be exercised against those failure modes without
+    a network.  Each forwarded attempt fails with probability
+    ``failure_rate`` (a :class:`~repro.exceptions.TransientBackendError`),
+    and every ``rate_limit_every``-th attempt is rejected once with a
+    :class:`~repro.exceptions.RateLimitedError`.  The layer itself retries up
+    to ``max_retries`` times, so with retries enabled the stack self-heals
+    while :attr:`statistics` records the weather; with ``max_retries=0``
+    every injected fault surfaces to the caller.
+    """
+
+    def __init__(
+        self,
+        inner: RawBackend,
+        failure_rate: float = 0.0,
+        rate_limit_every: int | None = None,
+        max_retries: int = 3,
+        seed: int | random.Random | None = 0,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise InterfaceError("failure_rate must be in [0, 1)")
+        if rate_limit_every is not None and rate_limit_every <= 0:
+            raise InterfaceError("rate_limit_every must be positive when given")
+        if max_retries < 0:
+            raise InterfaceError("max_retries must be non-negative")
+        super().__init__(inner)
+        self.failure_rate = failure_rate
+        self.rate_limit_every = rate_limit_every
+        self.max_retries = max_retries
+        self.statistics = UnreliableStatistics()
+        self._rng = resolve_rng(seed)
+        self._since_rate_limit = 0
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.statistics.retries += 1
+            self.statistics.attempts += 1
+            error = self._inject_fault()
+            if error is None:
+                return self.inner.submit(query)
+            last_error = error
+        self.statistics.gave_up += 1
+        assert last_error is not None
+        raise last_error
+
+    def _inject_fault(self) -> Exception | None:
+        if self.rate_limit_every is not None:
+            self._since_rate_limit += 1
+            if self._since_rate_limit >= self.rate_limit_every:
+                self._since_rate_limit = 0
+                self.statistics.rate_limited += 1
+                return RateLimitedError(self.rate_limit_every)
+        if self.failure_rate > 0.0 and self._rng.random() < self.failure_rate:
+            self.statistics.transient_failures += 1
+            return TransientBackendError()
+        return None

@@ -1,0 +1,302 @@
+"""Curated layer compositions: one access path, assembled to order.
+
+:class:`BackendStack` turns a raw backend plus a list of layer factories into
+one composed access path, keeps handles to every layer for introspection, and
+enforces the accounting invariant that a chain contains at most one
+:class:`~repro.backends.layers.StatisticsLayer` — the bug class where a
+wrapped client double-counted issued queries is now a construction error.
+
+Two builders encode the legacy access paths bit for bit:
+
+* :func:`engine_stack` — what :class:`HiddenDatabaseInterface` always was:
+  ``StatisticsLayer(BudgetLayer(CountModeLayer(QueryEngineBackend)))``;
+* :func:`web_stack` — what :class:`WebFormClient` always was:
+  ``StatisticsLayer(WebPageBackend)``, optionally under a budget and a
+  history layer so the scraping path deduplicates page fetches.
+
+Both accept ``history=True`` to slot a
+:class:`~repro.backends.history.HistoryLayer` on top, and the raw backend can
+be anything — including a :class:`~repro.backends.shard.ShardRouter`, which
+is how a sharded catalogue gets budgets, count modes and history in one line.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.backends.adapters import QueryEngineBackend, WebPageBackend
+from repro.backends.base import RawBackend, iter_chain
+from repro.backends.history import HistoryLayer
+from repro.backends.layers import BudgetLayer, CountModeLayer, StatisticsLayer
+from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
+from repro.database.limits import QueryBudget
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import RankingFunction
+from repro.database.schema import Schema
+from repro.database.table import Table
+from repro.exceptions import ConfigurationError
+
+#: A layer factory: given the backend to wrap, return the wrapping layer.
+#: Layer classes whose remaining parameters all default qualify directly.
+LayerFactory = Callable[[RawBackend], RawBackend]
+
+
+class BackendStack:
+    """A raw backend wrapped in middleware layers, innermost first.
+
+    ``layers`` are factories applied bottom-up: ``BackendStack(raw, [a, b])``
+    builds ``b(a(raw))``, so the *last* factory sees every submission first.
+    The stack itself satisfies the backend protocol, delegating to the
+    outermost layer, and exposes each layer by type through :meth:`layer`
+    plus convenience properties for the common ones.
+    """
+
+    def __init__(self, raw: RawBackend, layers: Sequence[LayerFactory] = ()) -> None:
+        self.raw = raw
+        backend: RawBackend = raw
+        built: list[RawBackend] = []
+        for factory in layers:
+            backend = factory(backend)
+            built.append(backend)
+        self._layers = tuple(built)
+        self.top: RawBackend = backend
+        counters = [node for node in iter_chain(self.top) if isinstance(node, StatisticsLayer)]
+        if len(counters) > 1:
+            raise ConfigurationError(
+                "a backend stack must contain at most one StatisticsLayer — a second "
+                "counter double-counts every issued query; reuse the existing layer "
+                f"(found {len(counters)} in the chain)"
+            )
+
+    # -- backend protocol ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The searchable schema advertised by the access path."""
+        return self.top.schema
+
+    @property
+    def k(self) -> int:
+        """The top-``k`` display limit."""
+        return self.top.k
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        """Submit one conjunctive query through every layer."""
+        return self.top.submit(query)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[RawBackend, ...]:
+        """The constructed layers, innermost first."""
+        return self._layers
+
+    def layer(self, layer_type: type) -> object | None:
+        """The unique layer of ``layer_type`` in this stack, or ``None``."""
+        matches = [layer for layer in self._layers if isinstance(layer, layer_type)]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ConfigurationError(
+                f"stack contains {len(matches)} {layer_type.__name__} layers; "
+                "address them through .layers instead"
+            )
+        return matches[0]
+
+    @property
+    def statistics(self) -> InterfaceStatistics | None:
+        """The single statistics counter of this access path, if layered in."""
+        layer = self.layer(StatisticsLayer)
+        return layer.statistics if layer is not None else None
+
+    @property
+    def budget(self) -> QueryBudget | None:
+        """The query budget of this access path, if layered in."""
+        layer = self.layer(BudgetLayer)
+        return layer.budget if layer is not None else None
+
+    @property
+    def history(self) -> HistoryLayer | None:
+        """The history/dedup layer of this access path, if layered in."""
+        return self.layer(HistoryLayer)  # type: ignore[return-value]
+
+    @property
+    def count_mode_layer(self) -> CountModeLayer | None:
+        """The count-shaping layer of this access path, if layered in."""
+        return self.layer(CountModeLayer)  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        """The chain as text, outermost first — e.g. for the CLI and docs."""
+        return " → ".join(type(node).__name__ for node in iter_chain(self.top))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackendStack({self.describe()})"
+
+
+def introspect(backend: object) -> dict[str, object]:
+    """Structured layer-level view of any access path, as plain dicts.
+
+    Works on a :class:`BackendStack`, the thin facades over one
+    (:class:`HiddenDatabaseInterface`, :class:`WebFormClient`), or any
+    backend-shaped object; concerns a path does not carry report ``None``
+    rather than guessing.  This is the single probe the service's
+    ``backend_statistics`` and the dashboard's backend line both render.
+    """
+    stack = getattr(backend, "stack", backend)  # facades expose their stack
+
+    def probe(name: str) -> object | None:
+        # The stack knows its layers even when the facade exposes no
+        # matching property (e.g. a budget-limited WebFormClient).
+        value = getattr(stack, name, None)
+        if value is None:
+            value = getattr(backend, name, None)
+        return value
+
+    describe = getattr(stack, "describe", None)
+    report: dict[str, object] = {
+        "access_path": describe() if callable(describe) else type(backend).__name__,
+    }
+    statistics = probe("statistics")
+    report["statistics"] = statistics.as_dict() if statistics is not None else None
+    budget = probe("budget")
+    report["budget"] = (
+        {"limit": budget.limit, "issued": budget.issued, "remaining": budget.remaining}
+        if budget is not None
+        else None
+    )
+    history = probe("history")
+    report["history"] = history.statistics.as_dict() if history is not None else None
+    return report
+
+
+# -- curated compositions -------------------------------------------------------
+
+
+def engine_stack(
+    table: Table,
+    k: int,
+    ranking: RankingFunction | None = None,
+    count_mode: CountMode = CountMode.NONE,
+    count_noise: float = 0.3,
+    budget: QueryBudget | None = None,
+    display_columns: Sequence[str] = (),
+    seed: int | random.Random | None = 0,
+    use_index: bool = True,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+) -> BackendStack:
+    """The direct in-process access path as a stack.
+
+    Layer order (inside out): count shaping on the engine's exact counts,
+    then the budget (charged before anything executes), then the single
+    statistics counter, then — optionally — the history layer, whose hits
+    never charge the budget nor count as issued queries.  This is exactly the
+    legacy :class:`HiddenDatabaseInterface` behaviour, which is now built on
+    this function.
+
+    ``statistics=False`` omits the counter — the right choice when the stack
+    serves a :class:`~repro.web.server.HiddenWebSite` whose *clients* own the
+    accounting, keeping one counter per end-to-end access path.
+    """
+    raw = QueryEngineBackend(
+        table, k, ranking=ranking, display_columns=display_columns, use_index=use_index
+    )
+    return _compose(
+        raw,
+        count_mode=count_mode,
+        count_noise=count_noise,
+        seed=seed,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+        statistics=statistics,
+    )
+
+
+def web_stack(
+    site: object,
+    schema: Schema,
+    display_columns: Sequence[str] = (),
+    budget: QueryBudget | None = None,
+    history: bool = False,
+    max_history_entries: int | None = None,
+) -> BackendStack:
+    """The HTML-scraping access path as a stack.
+
+    No count-mode layer: on this path count shaping already happened on the
+    server, the client sees only what the page displays.  The statistics
+    layer sits directly on the page fetcher, so with ``history=True`` the
+    counters report *actual page fetches* — every history hit is a whole
+    round-trip saved, which ``benchmarks/bench_backend_stack.py`` measures.
+    """
+    raw = WebPageBackend(site, schema, display_columns=display_columns)
+    return _compose(
+        raw,
+        count_mode=None,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+    )
+
+
+def sharded_stack(
+    table: Table,
+    n_shards: int,
+    k: int,
+    ranking: RankingFunction | None = None,
+    count_mode: CountMode = CountMode.NONE,
+    count_noise: float = 0.3,
+    budget: QueryBudget | None = None,
+    display_columns: Sequence[str] = (),
+    seed: int | random.Random | None = 0,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+) -> BackendStack:
+    """A sharded catalogue behind the same layer stack as the direct path.
+
+    The raw backend is a :class:`~repro.backends.shard.ShardRouter` over
+    ``n_shards`` partitions sharing one :class:`TableIndex`; everything the
+    client sees (counts, budget, statistics, history) is identical to
+    :func:`engine_stack` over the unsharded table.
+    """
+    from repro.backends.shard import ShardRouter
+
+    raw = ShardRouter.over_table(
+        table, n_shards, k, ranking=ranking, display_columns=display_columns
+    )
+    return _compose(
+        raw,
+        count_mode=count_mode,
+        count_noise=count_noise,
+        seed=seed,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+        statistics=statistics,
+    )
+
+
+def _compose(
+    raw: RawBackend,
+    count_mode: CountMode | None,
+    count_noise: float = 0.3,
+    seed: int | random.Random | None = 0,
+    budget: QueryBudget | None = None,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+) -> BackendStack:
+    layers: list[LayerFactory] = []
+    if count_mode is not None:
+        layers.append(
+            lambda inner: CountModeLayer(inner, mode=count_mode, noise=count_noise, seed=seed)
+        )
+    layers.append(lambda inner: BudgetLayer(inner, budget=budget))
+    if statistics:
+        layers.append(StatisticsLayer)
+    if history:
+        layers.append(lambda inner: HistoryLayer(inner, max_entries=max_history_entries))
+    return BackendStack(raw, layers)

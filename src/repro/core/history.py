@@ -1,323 +1,25 @@
-"""The query-history optimisation of the Sample Generator (paper Section 3.2).
+"""Compatibility shim: the query-history optimisation is now a backend layer.
 
-"Following an optimization proposed in [2], this module also keeps track of
-the query history and results to ensure that the random query generation
-process accumulates savings by not issuing the same query twice, or queries
-whose results can be inferred from the query history."
+The paper's Section 3.2 query-history cache used to live here, private to
+the sampler core.  The backend-stack refactor lifted it into
+:mod:`repro.backends.history` as :class:`~repro.backends.history.HistoryLayer`
+so *both* access paths (direct engine and page scraping) deduplicate and
+short-circuit known-empty/known-valid queries.  This module re-exports the
+layer under its historical name so existing imports keep working:
 
-:class:`QueryHistoryCache` wraps any
-:class:`~repro.database.interface.HiddenDatabase` and intercepts submissions:
-
-* **exact hit** — a query with the same canonical predicate set was answered
-  before: replay the stored response, issue nothing;
-* **inference from a valid ancestor** — a previously-seen *valid*
-  (non-overflowing) query subsumes the new one; because the valid query
-  returned *all* of its matching tuples, the new query's answer is exactly the
-  subset of those tuples that satisfy the extra predicates — compute it
-  locally, issue nothing;
-* **inference of emptiness** — a previously-seen *empty* query subsumes the
-  new one, so the new one is empty too; issue nothing;
-* otherwise forward the query to the real interface and remember the answer.
-
-Savings are tracked in :class:`HistoryStatistics`, which benchmark E7 reports.
-
-Complexity contract: a subsuming ancestor's canonical key is, by definition,
-a subset of the query's canonical key, so the default ``inference="indexed"``
-mode answers a submission by enumerating the ≤ 2^|q| predicate subsets of the
-query (|q| is bounded by the schema width, 4–6 in this repo) and probing the
-empty-key/valid-key dictionaries directly — O(2^|q|) dict lookups, independent
-of history size — instead of the O(history) linear subsumption scan of
-``inference="scan"`` (kept as the property-test oracle; the indexed mode also
-falls back to scanning automatically while the history is still smaller than
-the subset count, and for very wide queries).  Bookkeeping uses insertion-
-ordered dicts throughout, so remembering and evicting an entry are O(1).
+``QueryHistoryCache`` **is** ``HistoryLayer`` — same class, same behaviour,
+same ``inference="indexed"/"scan"`` modes and checkpoint serialisation.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+from repro.backends.history import CachedResponseSource, HistoryLayer, HistoryStatistics
 
-from repro.database.interface import HiddenDatabase, InterfaceResponse, ReturnedTuple
-from repro.database.query import ConjunctiveQuery
-from repro.database.schema import Schema
+#: Historical name of :class:`~repro.backends.history.HistoryLayer`.
+QueryHistoryCache = HistoryLayer
 
-
-class CachedResponseSource(enum.Enum):
-    """Where the answer of the most recent submission came from."""
-
-    INTERFACE = "interface"    #: actually issued to the hidden database
-    EXACT_HIT = "exact_hit"    #: replayed verbatim from the cache
-    INFERRED = "inferred"      #: computed from a subsuming valid/empty query
-
-
-@dataclass
-class HistoryStatistics:
-    """Counters of how many interface queries the cache saved."""
-
-    submissions: int = 0
-    issued_to_interface: int = 0
-    exact_hits: int = 0
-    inferred: int = 0
-
-    @property
-    def saved(self) -> int:
-        """Queries the sampler asked for but never reached the interface."""
-        return self.exact_hits + self.inferred
-
-    @property
-    def saving_ratio(self) -> float:
-        """Fraction of submissions answered without touching the interface."""
-        if self.submissions == 0:
-            return 0.0
-        return self.saved / self.submissions
-
-    def as_dict(self) -> dict[str, float]:
-        """Plain-dict view used by reports and benchmarks."""
-        return {
-            "submissions": self.submissions,
-            "issued_to_interface": self.issued_to_interface,
-            "exact_hits": self.exact_hits,
-            "inferred": self.inferred,
-            "saved": self.saved,
-            "saving_ratio": self.saving_ratio,
-        }
-
-
-class QueryHistoryCache:
-    """A caching / inferring proxy in front of a hidden-database interface.
-
-    ``inference`` selects how subsuming ancestors are found: ``"indexed"``
-    (default) probes the key dictionaries with the ≤ 2^|q| predicate subsets
-    of the submitted query; ``"scan"`` linearly scans the history, serving as
-    the equivalence oracle.  Both modes return identical responses.
-    """
-
-    #: Queries wider than this fall back to the linear scan even in indexed
-    #: mode — 2^|q| subset enumeration stops paying off long before that.
-    _MAX_SUBSET_PREDICATES = 20
-
-    def __init__(
-        self,
-        database: HiddenDatabase,
-        max_entries: int | None = None,
-        inference: str = "indexed",
-    ) -> None:
-        if max_entries is not None and max_entries <= 0:
-            raise ValueError("max_entries must be positive when given")
-        if inference not in ("indexed", "scan"):
-            raise ValueError(f"inference must be 'indexed' or 'scan', got {inference!r}")
-        self._database = database
-        self._max_entries = max_entries
-        self._inference = inference
-        self._responses: dict[tuple, InterfaceResponse] = {}
-        #: Canonical keys of valid (non-overflowing, non-empty) responses, the
-        #: only ones usable for subset inference.  Dicts-as-ordered-sets: O(1)
-        #: add/discard with deterministic (insertion) iteration order.
-        self._valid_keys: dict[tuple, None] = {}
-        #: Canonical keys of empty responses, usable for emptiness inference.
-        self._empty_keys: dict[tuple, None] = {}
-        self.statistics = HistoryStatistics()
-        self.last_source: CachedResponseSource = CachedResponseSource.INTERFACE
-
-    # -- HiddenDatabase contract -----------------------------------------------------
-
-    @property
-    def schema(self) -> Schema:
-        """Schema of the wrapped database."""
-        return self._database.schema
-
-    @property
-    def k(self) -> int:
-        """Top-``k`` limit of the wrapped database."""
-        return self._database.k
-
-    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
-        """Answer ``query`` from the cache if possible, else forward it."""
-        self.statistics.submissions += 1
-        key = query.canonical_key()
-
-        cached = self._responses.get(key)
-        if cached is not None:
-            self.statistics.exact_hits += 1
-            self.last_source = CachedResponseSource.EXACT_HIT
-            return cached
-
-        inferred = self._infer(query)
-        if inferred is not None:
-            self.statistics.inferred += 1
-            self.last_source = CachedResponseSource.INFERRED
-            self._remember(key, inferred)
-            return inferred
-
-        response = self._database.submit(query)
-        self.statistics.issued_to_interface += 1
-        self.last_source = CachedResponseSource.INTERFACE
-        self._remember(key, response)
-        return response
-
-    # -- inference ---------------------------------------------------------------------
-
-    def _infer(self, query: ConjunctiveQuery) -> InterfaceResponse | None:
-        ancestor = self._find_subsuming(query, self._empty_keys)
-        if ancestor is not None:
-            # Emptiness: a cached empty query subsuming this one proves this
-            # one is empty as well.
-            return InterfaceResponse(
-                query=query,
-                tuples=(),
-                overflow=False,
-                reported_count=0 if ancestor.reported_count is not None else None,
-                k=self.k,
-            )
-        ancestor = self._find_subsuming(query, self._valid_keys)
-        if ancestor is not None:
-            # Subset inference: a cached valid query returned *all* of its
-            # matches, so a specialisation's answer is the filtered subset.
-            tuples = tuple(t for t in ancestor.tuples if self._tuple_matches(query, t))
-            return InterfaceResponse(
-                query=query,
-                tuples=tuples,
-                overflow=False,
-                reported_count=len(tuples) if ancestor.reported_count is not None else None,
-                k=self.k,
-            )
-        return None
-
-    def _find_subsuming(
-        self, query: ConjunctiveQuery, keys: dict[tuple, None]
-    ) -> InterfaceResponse | None:
-        """A cached response from ``keys`` whose query subsumes ``query``.
-
-        Any subsuming ancestor yields the same inferred answer (an empty
-        ancestor proves emptiness outright; a valid ancestor holds the
-        complete result set, whose filtered-by-``query`` subset is the same
-        rows in the same rank order whichever ancestor is used), so the two
-        lookup strategies are interchangeable.
-        """
-        if not keys:
-            return None
-        key = query.canonical_key()
-        n_predicates = len(key)
-        # Subset enumeration costs 2^|q| probes regardless of history size;
-        # scanning costs one subsumption check per stored key.  Pick whichever
-        # is cheaper, and always scan when asked to (the oracle mode).
-        use_scan = (
-            self._inference == "scan"
-            or n_predicates > self._MAX_SUBSET_PREDICATES
-            or len(keys) < (1 << n_predicates)
-        )
-        if use_scan:
-            for cached_key in keys:
-                cached = self._responses[cached_key]
-                if cached.query.subsumes(query):
-                    return cached
-            return None
-        for mask in range(1 << n_predicates):
-            subset = tuple(key[i] for i in range(n_predicates) if mask >> i & 1)
-            if subset in keys:
-                return self._responses[subset]
-        return None
-
-    @staticmethod
-    def _tuple_matches(query: ConjunctiveQuery, returned: ReturnedTuple) -> bool:
-        for predicate in query.predicates:
-            if returned.selectable_values.get(predicate.attribute) != predicate.value:
-                return False
-        return True
-
-    # -- cache maintenance ----------------------------------------------------------------
-
-    def _remember(self, key: tuple, response: InterfaceResponse) -> None:
-        if key not in self._responses:
-            # Only a genuinely new key can push the cache over its limit;
-            # overwriting in place (e.g. re-importing a checkpoint) must not
-            # evict an unrelated entry.
-            if self._max_entries is not None and len(self._responses) >= self._max_entries:
-                self._evict_oldest()
-        else:
-            # Reclassify cleanly on overwrite.
-            self._valid_keys.pop(key, None)
-            self._empty_keys.pop(key, None)
-        self._responses[key] = response
-        if response.empty:
-            self._empty_keys[key] = None
-        elif not response.overflow:
-            self._valid_keys[key] = None
-
-    def _evict_oldest(self) -> None:
-        """Drop the least recently *inserted* entry — O(1) bookkeeping."""
-        oldest_key = next(iter(self._responses))
-        del self._responses[oldest_key]
-        self._valid_keys.pop(oldest_key, None)
-        self._empty_keys.pop(oldest_key, None)
-
-    def clear(self) -> None:
-        """Forget every cached response (statistics are kept)."""
-        self._responses.clear()
-        self._valid_keys.clear()
-        self._empty_keys.clear()
-
-    # -- serialisation (job checkpoints) ------------------------------------------------
-
-    def export_entries(self) -> list[dict]:
-        """The cached responses as JSON-serialisable dicts, in insertion order.
-
-        Together with :meth:`import_entries` this lets a paused sampling job
-        checkpoint its warm cache and resume later without re-paying the
-        interface queries that filled it.
-        """
-        entries = []
-        for response in self._responses.values():
-            entries.append(
-                {
-                    "query": response.query.assignment(),
-                    "tuples": [
-                        {
-                            "tuple_id": t.tuple_id,
-                            "values": dict(t.values),
-                            "selectable_values": dict(t.selectable_values),
-                        }
-                        for t in response.tuples
-                    ],
-                    "overflow": response.overflow,
-                    "reported_count": response.reported_count,
-                }
-            )
-        return entries
-
-    def import_entries(self, entries: list[dict]) -> int:
-        """Refill the cache from :meth:`export_entries` output.
-
-        Returns the number of entries loaded.  Statistics are untouched: the
-        imported answers were paid for before the checkpoint.
-        """
-        loaded = 0
-        for entry in entries:
-            query = ConjunctiveQuery.from_assignment(self.schema, entry["query"])
-            tuples = tuple(
-                ReturnedTuple(
-                    tuple_id=t["tuple_id"],
-                    values=dict(t["values"]),
-                    selectable_values=dict(t["selectable_values"]),
-                )
-                for t in entry["tuples"]
-            )
-            response = InterfaceResponse(
-                query=query,
-                tuples=tuples,
-                overflow=bool(entry["overflow"]),
-                reported_count=entry.get("reported_count"),
-                k=self.k,
-            )
-            self._remember(query.canonical_key(), response)
-            loaded += 1
-        return loaded
-
-    def __len__(self) -> int:
-        return len(self._responses)
-
-    @property
-    def inner(self) -> HiddenDatabase:
-        """The wrapped database."""
-        return self._database
+__all__ = [
+    "CachedResponseSource",
+    "HistoryStatistics",
+    "QueryHistoryCache",
+]

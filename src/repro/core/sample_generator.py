@@ -4,10 +4,12 @@
 queries according to the HIDDEN-DB-SAMPLER algorithm. [...] this module also
 keeps track of the query history and results."
 
-:class:`SampleGenerator` assembles the access path (scoping adapter → history
-cache → raw interface), instantiates the configured sampling algorithm over
-it, and produces :class:`~repro.algorithms.base.Candidate` tuples one at a
-time for the Sample Processor.
+:class:`SampleGenerator` assembles the access path (scoping adapter →
+:class:`~repro.backends.history.HistoryLayer` → the backend it was given,
+which may itself be a whole :class:`~repro.backends.stack.BackendStack`),
+instantiates the configured sampling algorithm over it, and produces
+:class:`~repro.algorithms.base.Candidate` tuples one at a time for the
+Sample Processor.
 """
 
 from __future__ import annotations
@@ -18,8 +20,8 @@ from repro.algorithms.brute_force import BruteForceSampler
 from repro.algorithms.count_based import CountAidedSampler
 from repro.algorithms.ordering import RandomOrdering
 from repro.algorithms.random_walk import RandomWalkConfig, RandomWalkSampler
+from repro.backends.history import HistoryLayer
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
-from repro.core.history import QueryHistoryCache
 from repro.core.scope import ScopedDatabase
 from repro.database.interface import HiddenDatabase
 from repro.exceptions import ConfigurationError, QueryBudgetExceededError
@@ -38,9 +40,9 @@ class SampleGenerator:
         scoped: HiddenDatabase = ScopedDatabase(
             database, attributes=config.attributes, bindings=config.bindings
         )
-        self.history: QueryHistoryCache | None = None
+        self.history: HistoryLayer | None = None
         if config.use_history:
-            self.history = QueryHistoryCache(scoped)
+            self.history = HistoryLayer(scoped)
             access: HiddenDatabase = self.history
         else:
             access = scoped

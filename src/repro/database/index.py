@@ -11,9 +11,16 @@ factorises that work into two one-time structures:
   Each searchable attribute is encoded into a columnar array of *selectable*
   values (numeric rows are binned once via :func:`bisect.bisect_right` over
   the domain's precomputed sorted bucket edges, not per query), and inverted
-  posting lists ``(attribute, value) -> sorted tuple of row ids`` are derived
-  from the columns.  A conjunctive query is then answered by intersecting its
-  predicates' posting lists smallest-first.
+  posting lists ``(attribute, value) -> ascending array('q') of row ids`` are
+  derived from the columns — packed C ``int64`` rows, one machine word per
+  entry instead of a ``PyObject*`` plus a boxed int.  A conjunctive query is
+  answered by intersecting its predicates' posting lists smallest-first with
+  a *galloping* merge: each candidate from the (shrinking) smaller side is
+  located in the larger side by exponential probing from the previous match
+  followed by a bounded binary search, so intersecting a short list against
+  a long one costs O(short · log(long/short)) comparisons rather than
+  O(short) hash probes over a separately materialised set (the old
+  ``frozenset`` mirrors of every posting list are gone entirely).
 
 * :class:`RankCache` — built once per (table, ranking-function) pair and
   memoised on the index.  It computes every row's rank key exactly once,
@@ -44,7 +51,8 @@ from __future__ import annotations
 
 import heapq
 import weakref
-from bisect import bisect_right
+from array import array
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.database.schema import AttributeKind, Value
@@ -70,6 +78,37 @@ class _Unbinnable:
 
 
 _UNBINNABLE = _Unbinnable()
+
+#: Shared empty posting list (``array('q')`` of signed 64-bit row ids).
+_EMPTY_POSTING = array("q")
+
+
+def _gallop_intersect(smaller: Sequence[int], larger: Sequence[int]) -> list[int]:
+    """Intersect two ascending row-id sequences, galloping through ``larger``.
+
+    Walks ``smaller`` in order while keeping a cursor into ``larger``; for
+    each candidate the cursor is advanced by exponential probing (1, 2, 4, …
+    steps) and the overshoot window is closed with :func:`bisect.bisect_left`.
+    Equal-element runs therefore cost O(1) amortised, and a tiny list against
+    a huge one costs O(|small| · log(|large|/|small|)).
+    """
+    out: list[int] = []
+    pos = 0
+    n = len(larger)
+    for value in smaller:
+        # Gallop: double the step until larger[lo + step] >= value (or EOF).
+        lo = pos
+        step = 1
+        while lo + step < n and larger[lo + step] < value:
+            lo += step
+            step <<= 1
+        pos = bisect_left(larger, value, lo, min(lo + step + 1, n))
+        if pos >= n:
+            break
+        if larger[pos] == value:
+            out.append(value)
+            pos += 1
+    return out
 
 
 class RankCache:
@@ -115,7 +154,7 @@ class TableIndex:
         self._table = table
         self._n_rows = len(table)
         columns: dict[str, list[Value]] = {}
-        postings: dict[tuple[str, Value], tuple[int, ...]] = {}
+        postings: dict[tuple[str, Value], array] = {}
         for attribute in table.schema:
             name = attribute.name
             if attribute.kind is AttributeKind.NUMERIC:
@@ -129,12 +168,11 @@ class TableIndex:
                     continue
                 by_value.setdefault(value, []).append(row_id)
             for value, row_ids in by_value.items():
-                postings[(name, value)] = tuple(row_ids)
+                # Row ids were appended in ascending order, so the arrays are
+                # born sorted — the invariant the galloping merge relies on.
+                postings[(name, value)] = array("q", row_ids)
         self._columns = columns
         self._postings = postings
-        self._posting_sets: dict[tuple[str, Value], frozenset[int]] = {
-            key: frozenset(row_ids) for key, row_ids in postings.items()
-        }
         #: ranking object -> RankCache; weakly keyed (rankings have identity
         #: hash) so caches die with their ranking instead of accreting on the
         #: table-lifetime index as engines come and go.
@@ -166,17 +204,18 @@ class TableIndex:
         """The columnar selectable encoding of one searchable attribute."""
         return self._columns[attribute_name]
 
-    def posting_list(self, attribute_name: str, value: Value) -> tuple[int, ...]:
-        """Sorted row ids whose ``attribute_name`` encodes to ``value``."""
-        return self._postings.get((attribute_name, value), ())
+    def posting_list(self, attribute_name: str, value: Value) -> Sequence[int]:
+        """Ascending ``array('q')`` of row ids whose ``attribute_name`` encodes to ``value``."""
+        return self._postings.get((attribute_name, value), _EMPTY_POSTING)
 
     # -- conjunctive evaluation ---------------------------------------------
 
     def matching_row_ids(self, query: "ConjunctiveQuery") -> list[int]:
         """All row ids matching ``query``, ascending (same order as a scan).
 
-        Posting lists are intersected smallest-first: the shortest list is
-        walked in order while the others answer O(1) membership probes.
+        Posting lists are intersected smallest-first with a galloping merge:
+        the running (only-ever-shrinking) intersection is located inside each
+        successive larger list by exponential probe + bounded binary search.
         """
         predicates = query.predicates
         if not predicates:
@@ -188,15 +227,12 @@ class TableIndex:
                 return []
             keys.append(key)
         keys.sort(key=lambda key: len(self._postings[key]))
-        smallest = self._postings[keys[0]]
-        if len(keys) == 1:
-            return list(smallest)
-        others = [self._posting_sets[key] for key in keys[1:]]
-        return [
-            row_id
-            for row_id in smallest
-            if all(row_id in posting for posting in others)
-        ]
+        result: Sequence[int] = self._postings[keys[0]]
+        for key in keys[1:]:
+            result = _gallop_intersect(result, self._postings[key])
+            if not result:
+                return []
+        return list(result)
 
     def count(self, query: "ConjunctiveQuery") -> int:
         """Number of rows matching ``query``, without materialising them."""

@@ -22,17 +22,14 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Protocol, Sequence, runtime_checkable
 
-from repro._rng import resolve_rng
-from repro.database.engine import QueryEngine, QueryOutcome, QueryResult
 from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
 from repro.database.ranking import RankingFunction
 from repro.database.schema import Schema, Value
 from repro.database.table import Table
-from repro.exceptions import InterfaceError
 
 
 class CountMode(enum.Enum):
@@ -140,6 +137,15 @@ class HiddenDatabase(Protocol):
 class HiddenDatabaseInterface:
     """Direct in-process implementation of the web form interface contract.
 
+    Since the backend-stack refactor this class is a thin facade over the
+    composable access path of :mod:`repro.backends`: a
+    :class:`~repro.backends.adapters.QueryEngineBackend` under a
+    :class:`~repro.backends.layers.CountModeLayer`, a
+    :class:`~repro.backends.layers.BudgetLayer` and the single
+    :class:`~repro.backends.layers.StatisticsLayer` of the path.  Its public
+    contract — constructor signature, ``submit`` semantics, ``statistics``,
+    ``budget``, count modes, operator-side helpers — is unchanged.
+
     Parameters
     ----------
     table:
@@ -177,86 +183,96 @@ class HiddenDatabaseInterface:
         seed: int | random.Random | None = 0,
         use_index: bool = True,
     ) -> None:
-        if count_noise < 0:
-            raise InterfaceError("count_noise must be non-negative")
-        self._engine = QueryEngine(table, k=k, ranking=ranking, use_index=use_index)
-        self._table = table
-        self.count_mode = count_mode
-        self.count_noise = count_noise
-        self.budget = budget if budget is not None else QueryBudget()
-        self.display_columns = tuple(display_columns)
-        self.statistics = InterfaceStatistics()
-        self._rng = resolve_rng(seed)
+        from repro.backends.stack import engine_stack
+
+        self.stack = engine_stack(
+            table,
+            k,
+            ranking=ranking,
+            count_mode=count_mode,
+            count_noise=count_noise,
+            budget=budget,
+            display_columns=display_columns,
+            seed=seed,
+            use_index=use_index,
+        )
 
     # -- contract ------------------------------------------------------------
 
     @property
     def schema(self) -> Schema:
         """The searchable schema advertised by the form."""
-        return self._table.schema
+        return self.stack.schema
 
     @property
     def k(self) -> int:
         """The top-``k`` display limit."""
-        return self._engine.k
+        return self.stack.k
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         """Submit one conjunctive query and return the visible result page.
 
-        Charges the query budget before executing; a budget violation leaves
-        the database untouched and raises.
+        The budget layer charges before the engine executes; a budget
+        violation leaves the database untouched and raises.
         """
-        self.budget.charge(1)
-        result = self._engine.execute(query)
-        response = self._build_response(result)
-        self.statistics.record(response)
-        return response
+        return self.stack.submit(query)
 
-    # -- internals -----------------------------------------------------------
+    # -- layer-backed accessors ----------------------------------------------
 
-    def _build_response(self, result: QueryResult) -> InterfaceResponse:
-        tuples = tuple(self._returned_tuple(row_id) for row_id in result.returned_row_ids)
-        return InterfaceResponse(
-            query=result.query,
-            tuples=tuples,
-            overflow=result.outcome is QueryOutcome.OVERFLOW,
-            reported_count=self._reported_count(result.total_count),
-            k=result.k,
-        )
+    @property
+    def statistics(self) -> InterfaceStatistics:
+        """Counters of the path's single statistics layer."""
+        statistics = self.stack.statistics
+        assert statistics is not None
+        return statistics
 
-    def _returned_tuple(self, row_id: int) -> ReturnedTuple:
-        row = self._table[row_id]
-        values: dict[str, Value] = {
-            attribute.name: row[attribute.name] for attribute in self._table.schema
-        }
-        for column in self.display_columns:
-            if column in row:
-                values[column] = row[column]
-        selectable = self._table.selectable_row(row)
-        return ReturnedTuple(tuple_id=row_id, values=values, selectable_values=selectable)
+    @property
+    def budget(self) -> QueryBudget:
+        """The per-client query budget charged on every submission."""
+        budget = self.stack.budget
+        assert budget is not None
+        return budget
 
-    def _reported_count(self, true_count: int) -> int | None:
-        if self.count_mode is CountMode.NONE:
-            return None
-        if self.count_mode is CountMode.EXACT:
-            return true_count
-        if true_count == 0:
-            return 0
-        spread = self.count_noise * true_count
-        noisy = true_count + self._rng.uniform(-spread, spread)
-        return max(0, int(round(noisy)))
+    @property
+    def count_mode(self) -> CountMode:
+        """How (and whether) result counts are reported."""
+        return self._count_layer.mode
+
+    @count_mode.setter
+    def count_mode(self, mode: CountMode) -> None:
+        self._count_layer.mode = mode
+
+    @property
+    def count_noise(self) -> float:
+        """Relative noise magnitude used by :attr:`CountMode.NOISY`."""
+        return self._count_layer.noise
+
+    @property
+    def display_columns(self) -> tuple[str, ...]:
+        """Extra non-searchable columns shown on result pages."""
+        return self.stack.raw.display_columns  # type: ignore[attr-defined]
+
+    @property
+    def _count_layer(self):
+        layer = self.stack.count_mode_layer
+        assert layer is not None
+        return layer
 
     # -- operator-side helpers (not available to samplers) ----------------------
 
     def true_count(self, query: ConjunctiveQuery) -> int:
         """Exact match count; for validation/ground truth only, never sampling."""
-        return self._engine.count(query)
+        return self.stack.raw.true_count(query)  # type: ignore[attr-defined]
 
     @property
     def table(self) -> Table:
         """The hidden table itself; for validation/ground truth only."""
-        return self._table
+        return self.stack.raw.table  # type: ignore[attr-defined]
 
     def reset_statistics(self) -> None:
         """Clear interaction counters (budget is left untouched)."""
-        self.statistics = InterfaceStatistics()
+        from repro.backends.layers import StatisticsLayer
+
+        layer = self.stack.layer(StatisticsLayer)
+        assert layer is not None
+        layer.reset()

@@ -58,6 +58,31 @@ class QueryBudgetExceededError(InterfaceError):
         super().__init__(f"query budget exhausted: issued {issued} of {budget} allowed queries")
 
 
+class TransientBackendError(InterfaceError):
+    """A (possibly injected) transient fault: the request may be retried.
+
+    The in-process analogue of a timeout or a 5xx from a real hidden
+    database; raised by :class:`repro.backends.layers.UnreliableLayer`.
+    """
+
+    def __init__(self, message: str = "transient backend failure") -> None:
+        super().__init__(message)
+
+
+class RateLimitedError(TransientBackendError):
+    """The backend (really: the chaos layer) rejected the request as too fast.
+
+    The in-process analogue of an HTTP 429.
+    """
+
+    def __init__(self, every: int | None = None) -> None:
+        self.every = every
+        message = "request rejected by rate limiting"
+        if every is not None:
+            message += f" (every {every}th request is rejected)"
+        super().__init__(message)
+
+
 class SamplingError(ReproError):
     """A sampler could not make progress (e.g. empty database, zero budget)."""
 

@@ -22,9 +22,10 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.backends import BackendStack, engine_stack, sharded_stack
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
 from repro.core.tradeoff import TradeoffSlider
-from repro.database.interface import CountMode, HiddenDatabaseInterface
+from repro.database.interface import CountMode
 from repro.database.limits import QueryBudget
 from repro.datasets.boolean import BooleanConfig, generate_boolean_table
 from repro.datasets.vehicles import VehiclesConfig, default_vehicles_ranking, generate_vehicles_table
@@ -58,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the query-history optimisation")
     parser.add_argument("--budget", type=int, default=None,
                         help="per-client query budget of the interface (default: unlimited)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the simulated catalogue over N shard backends "
+                             "behind one router (results are identical to --shards 1)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--histogram", nargs="*", default=None,
                         help="attributes whose sampled histograms to print (default: first two)")
@@ -90,7 +94,15 @@ def _coerce(text: str) -> object:
         return text
 
 
-def _build_interface(args: argparse.Namespace) -> HiddenDatabaseInterface:
+def _build_backend(args: argparse.Namespace) -> BackendStack:
+    """The simulated hidden database as a composed backend stack.
+
+    With ``--shards N`` the raw backend is a shard router over N partitions
+    sharing one table index; the layer stack above it (count mode, budget,
+    statistics) is identical either way, as are the sampled results.
+    """
+    if args.shards < 1:
+        raise ReproError("--shards must be at least 1")
     budget = QueryBudget(limit=args.budget) if args.budget is not None else QueryBudget()
     count_mode = (
         CountMode.EXACT
@@ -100,13 +112,21 @@ def _build_interface(args: argparse.Namespace) -> HiddenDatabaseInterface:
     if args.dataset == "vehicles":
         table = generate_vehicles_table(VehiclesConfig(n_rows=args.rows, seed=args.seed))
         ranking = default_vehicles_ranking()
-        return HiddenDatabaseInterface(
-            table, k=args.top_k, ranking=ranking, count_mode=count_mode,
-            budget=budget, display_columns=("title",), seed=args.seed,
+        display_columns: tuple[str, ...] = ("title",)
+    else:
+        table = generate_boolean_table(
+            BooleanConfig(n_rows=args.rows, n_attributes=8, seed=args.seed)
         )
-    table = generate_boolean_table(BooleanConfig(n_rows=args.rows, n_attributes=8, seed=args.seed))
-    return HiddenDatabaseInterface(
-        table, k=args.top_k, count_mode=count_mode, budget=budget, seed=args.seed
+        ranking = None
+        display_columns = ()
+    if args.shards > 1:
+        return sharded_stack(
+            table, args.shards, args.top_k, ranking=ranking, count_mode=count_mode,
+            budget=budget, display_columns=display_columns, seed=args.seed,
+        )
+    return engine_stack(
+        table, args.top_k, ranking=ranking, count_mode=count_mode,
+        budget=budget, display_columns=display_columns, seed=args.seed,
     )
 
 
@@ -116,7 +136,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        interface = _build_interface(args)
+        backend = _build_backend(args)
         config = HDSamplerConfig(
             n_samples=args.samples,
             attributes=tuple(args.attributes) if args.attributes else None,
@@ -126,7 +146,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             use_history=not args.no_history,
             seed=args.seed,
         )
-        service = SamplingService(interface)
+        service = SamplingService(backend)
         job = service.submit(config)
         histogram_attributes = (
             tuple(args.histogram) if args.histogram else job.schema.attribute_names[:2]
@@ -136,8 +156,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             histogram_attributes=histogram_attributes,
             printer=print if args.progress else None,
             print_every=10 if args.progress else 0,
+            backend=backend,
         )
         print(config.describe())
+        print(f"access path: {backend.describe()}")
         print()
         result = job.run()
         print(dashboard.render_progress_line())
@@ -155,6 +177,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"queries={summary['queries_issued']}  "
             f"queries/sample={summary['queries_per_sample']:.1f}"
         )
+        print(dashboard.render_backend_line())
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

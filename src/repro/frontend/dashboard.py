@@ -47,10 +47,14 @@ class Dashboard:
         histogram_attributes: Sequence[str] | None = None,
         printer: Callable[[str], None] | None = None,
         print_every: int = 0,
+        backend: object | None = None,
     ) -> None:
         if recent_samples < 0:
             raise ValueError("recent_samples must be non-negative")
         self._source = source
+        #: Optional access-path object (typically a BackendStack) whose layer
+        #: statistics the dashboard surfaces alongside sampling progress.
+        self.backend = backend
         self._recent_limit = recent_samples
         self._histogram_attributes = (
             tuple(histogram_attributes)
@@ -89,6 +93,35 @@ class Dashboard:
             f"[{bar}] {event.samples_collected}/{event.samples_requested} samples, "
             f"{event.queries_issued} queries, state={event.state.value}"
         )
+
+    def render_backend_line(self) -> str:
+        """One-line view of the attached access path's layer statistics.
+
+        Works with anything statistics-shaped: a
+        :class:`~repro.backends.stack.BackendStack` (statistics + optional
+        budget and history layers), a classic interface, or nothing —
+        in which case a placeholder is returned.
+        """
+        if self.backend is None:
+            return "no backend attached"
+        from repro.backends import introspect
+
+        report = introspect(self.backend)
+        parts = [str(report["access_path"])]
+        statistics = report["statistics"]
+        if statistics is not None:
+            parts.append(
+                f"{statistics['queries_issued']} issued "
+                f"({statistics['valid_results']} valid / {statistics['empty_results']} empty / "
+                f"{statistics['overflow_results']} overflow)"
+            )
+        budget = report["budget"]
+        if budget is not None and budget["limit"] is not None:
+            parts.append(f"budget {budget['issued']}/{budget['limit']}")
+        history = report["history"]
+        if history is not None:
+            parts.append(f"history saved {history['saved']} queries")
+        return "  |  ".join(parts)
 
     def render_recent_samples(self) -> str:
         """Table of the most recently collected samples."""

@@ -202,6 +202,20 @@ class SamplingService:
 
     # -- introspection ------------------------------------------------------------------
 
+    def backend_statistics(self, name: str | None = None) -> dict[str, object]:
+        """Layer-level accounting of the named backend (or the default one).
+
+        For stack-built backends (:class:`~repro.backends.stack.BackendStack`
+        or the thin facades over one) this surfaces the access path's single
+        statistics counter plus, when layered in, budget usage and
+        history-cache savings — the numbers an operator watches on a shared
+        deployment.  Backends without a statistics layer report ``None``
+        counters rather than guessing.
+        """
+        from repro.backends import introspect
+
+        return {"backend": name or self._default_backend, **introspect(self.backend(name))}
+
     def describe(self) -> str:
         """One line per job: id, backend, state, progress (used by the CLI)."""
         if not self._jobs:

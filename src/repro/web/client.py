@@ -9,6 +9,17 @@ protocol as the direct in-process interface, so every sampler and the whole
 HDSampler core run unchanged over either access path (benchmark E11 checks
 they yield statistically identical samples).
 
+Since the backend-stack refactor the client is a thin facade over
+:func:`repro.backends.stack.web_stack`: the page scraping itself lives in
+:class:`~repro.backends.adapters.WebPageBackend`, and the client's
+bookkeeping is the stack's single
+:class:`~repro.backends.layers.StatisticsLayer` — the only counter on this
+access path, so issued queries are never double-counted however the client
+is further wrapped.  Passing ``history=True`` slots a
+:class:`~repro.backends.history.HistoryLayer` on top, so repeated and
+inferable queries stop costing page fetches at all (the statistics then
+count *actual fetches*, and :attr:`history` reports the savings).
+
 Configuration mirrors the paper's Section 3.1: "to customize HDSampler to a
 specific data source, one needs to specify the attributes and their domain
 values" — the client takes the schema as configuration and *verifies* it
@@ -19,59 +30,74 @@ every field treated as categorical text.
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.database.interface import InterfaceResponse, InterfaceStatistics, ReturnedTuple
+from repro.database.interface import InterfaceResponse, InterfaceStatistics
+from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
-from repro.database.schema import Attribute, AttributeKind, Domain, Schema, Value
-from repro.exceptions import FormParseError, WebFormError
-from repro.web.form_parser import FormDescription, ParsedResultRow, parse_form_page, parse_result_page
+from repro.database.schema import Schema
 from repro.web.server import HiddenWebSite
-from repro.web.urlcodec import result_page_path
 
 
 class WebFormClient:
     """Access a :class:`~repro.web.server.HiddenWebSite` by scraping its pages."""
 
-    def __init__(self, site: HiddenWebSite, schema: Schema, display_columns: tuple[str, ...] = ()) -> None:
-        self._site = site
-        self._schema = schema
-        self.display_columns = tuple(display_columns)
-        self.statistics = InterfaceStatistics()
-        self._form = self._fetch_form()
-        self._verify_schema_against_form(self._form)
-        self._k = self._form.top_k
-        if self._k is None:
-            raise WebFormError("the form page does not advertise a top-k limit")
+    def __init__(
+        self,
+        site: HiddenWebSite,
+        schema: Schema,
+        display_columns: tuple[str, ...] = (),
+        budget: QueryBudget | None = None,
+        history: bool = False,
+        max_history_entries: int | None = None,
+    ) -> None:
+        from repro.backends.stack import web_stack
+
+        self.stack = web_stack(
+            site,
+            schema,
+            display_columns=display_columns,
+            budget=budget,
+            history=history,
+            max_history_entries=max_history_entries,
+        )
 
     # -- contract ---------------------------------------------------------------
 
     @property
     def schema(self) -> Schema:
         """The searchable schema the client was configured with."""
-        return self._schema
+        return self.stack.schema
 
     @property
     def k(self) -> int:
         """Top-``k`` limit learned from the form page."""
-        assert self._k is not None
-        return self._k
+        return self.stack.k
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
-        """Submit ``query`` by fetching and parsing the corresponding result page."""
-        path = result_page_path(self._form.action, query)
-        page = self._site.get(path)
-        parsed = parse_result_page(page)
-        tuples = tuple(self._to_returned_tuple(row) for row in parsed.rows)
-        response = InterfaceResponse(
-            query=query,
-            tuples=tuples,
-            overflow=parsed.overflow,
-            reported_count=parsed.reported_count,
-            k=parsed.top_k if parsed.top_k is not None else self.k,
-        )
-        self.statistics.record(response)
-        return response
+        """Submit ``query`` by fetching and parsing the corresponding result page.
+
+        With ``history=True`` a repeated or inferable query is answered from
+        the history layer without fetching any page.
+        """
+        return self.stack.submit(query)
+
+    # -- layer-backed accessors ---------------------------------------------------
+
+    @property
+    def statistics(self) -> InterfaceStatistics:
+        """The path's single statistics counter (actual page-backed queries)."""
+        statistics = self.stack.statistics
+        assert statistics is not None
+        return statistics
+
+    @property
+    def history(self):
+        """The history layer when built with ``history=True``, else ``None``."""
+        return self.stack.history
+
+    @property
+    def display_columns(self) -> tuple[str, ...]:
+        """Extra non-searchable columns parsed off result pages."""
+        return self.stack.raw.display_columns  # type: ignore[attr-defined]
 
     # -- schema discovery ---------------------------------------------------------
 
@@ -84,87 +110,6 @@ class WebFormClient:
         typing (booleans, numeric buckets) still requires operator-provided
         configuration, as in the paper.
         """
-        form = parse_form_page(site.get(HiddenWebSite.FORM_PATH))
-        attributes = []
-        for field in form.fields:
-            options = field.selectable_options
-            if not options:
-                raise FormParseError(f"form field {field.name!r} offers no selectable options")
-            attributes.append(Attribute(field.name, Domain.categorical(options)))
-        return Schema(attributes, name=name or form.schema_name or "discovered")
+        from repro.backends.adapters import WebPageBackend
 
-    # -- internals ----------------------------------------------------------------
-
-    def _fetch_form(self) -> FormDescription:
-        page = self._site.get(HiddenWebSite.FORM_PATH)
-        return parse_form_page(page)
-
-    def _verify_schema_against_form(self, form: FormDescription) -> None:
-        form_fields = set(form.field_names)
-        for attribute in self._schema:
-            if attribute.name not in form_fields:
-                raise WebFormError(
-                    f"configured attribute {attribute.name!r} does not appear in the form "
-                    f"(form fields: {', '.join(sorted(form_fields))})"
-                )
-            offered = set(form.field(attribute.name).selectable_options)
-            for value in attribute.domain.values:
-                if _value_to_option_text(value) not in offered:
-                    raise WebFormError(
-                        f"configured value {value!r} of attribute {attribute.name!r} is not "
-                        "offered by the form"
-                    )
-
-    def _to_returned_tuple(self, row: ParsedResultRow) -> ReturnedTuple:
-        values: dict[str, Value] = {}
-        selectable: dict[str, Value] = {}
-        for attribute in self._schema:
-            text = row.values.get(attribute.name)
-            if text is None:
-                raise FormParseError(
-                    f"result row {row.tuple_id} is missing column {attribute.name!r}"
-                )
-            raw = _parse_displayed_value(attribute, text)
-            values[attribute.name] = raw
-            selectable[attribute.name] = attribute.domain.selectable_value_for(raw)
-        for column in self.display_columns:
-            if column in row.values:
-                values[column] = row.values[column]
-        return ReturnedTuple(tuple_id=row.tuple_id, values=values, selectable_values=selectable)
-
-
-def _value_to_option_text(value: Value) -> str:
-    """Render a domain value the same way the form page renders its options."""
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, float) and value == int(value):
-        return str(int(value))
-    return str(value)
-
-
-def _parse_displayed_value(attribute: Attribute, text: str) -> Value:
-    """Convert a displayed cell back to a raw value for ``attribute``."""
-    if attribute.kind is AttributeKind.BOOLEAN:
-        lowered = text.strip().lower()
-        if lowered in {"true", "1", "yes"}:
-            return True
-        if lowered in {"false", "0", "no"}:
-            return False
-        raise FormParseError(f"cannot parse boolean cell {text!r} for {attribute.name!r}")
-    if attribute.kind is AttributeKind.NUMERIC:
-        try:
-            return float(text)
-        except ValueError:
-            raise FormParseError(f"cannot parse numeric cell {text!r} for {attribute.name!r}") from None
-    # Categorical: preserve integer-valued categories (e.g. model year).
-    if text in attribute.domain:
-        return text
-    try:
-        as_int = int(text)
-    except ValueError:
-        as_int = None
-    if as_int is not None and as_int in attribute.domain:
-        return as_int
-    raise FormParseError(
-        f"displayed value {text!r} is not in the domain of attribute {attribute.name!r}"
-    )
+        return WebPageBackend.discover_schema(site, name=name)

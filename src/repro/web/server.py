@@ -15,21 +15,31 @@ problem — everything the client learns, it learns by parsing HTML.
 
 from __future__ import annotations
 
-from repro.database.interface import HiddenDatabaseInterface
+from repro.database.interface import HiddenDatabase
 from repro.exceptions import PageNotFoundError
 from repro.web import html as html_render
 from repro.web.urlcodec import decode_query
 
 
 class HiddenWebSite:
-    """Serves the form page and result pages of one hidden database."""
+    """Serves the form page and result pages of one hidden database.
+
+    ``interface`` is any object satisfying the
+    :class:`~repro.database.interface.HiddenDatabase` protocol — the classic
+    :class:`~repro.database.interface.HiddenDatabaseInterface`, a raw
+    :class:`~repro.backends.adapters.QueryEngineBackend`, or a whole
+    :class:`~repro.backends.stack.BackendStack` (including a sharded one).
+    Serving from a stack *without* a statistics layer leaves the web client's
+    own :class:`~repro.backends.layers.StatisticsLayer` as the one counter of
+    issued queries end to end.
+    """
 
     #: Path of the search form page.
     FORM_PATH = "/search"
     #: Path (before the query string) of result pages.
     RESULTS_PATH = "/results"
 
-    def __init__(self, interface: HiddenDatabaseInterface, site_name: str | None = None) -> None:
+    def __init__(self, interface: HiddenDatabase, site_name: str | None = None) -> None:
         self.interface = interface
         self.site_name = site_name or f"{interface.schema.name} search"
         self.pages_served = 0
@@ -71,5 +81,20 @@ class HiddenWebSite:
             overflow=response.overflow,
             reported_count=response.reported_count,
             k=response.k,
-            display_columns=self.interface.display_columns,
+            display_columns=self.display_columns,
         )
+
+    @property
+    def display_columns(self) -> tuple[str, ...]:
+        """Extra columns the backing interface exposes for result pages.
+
+        Raw protocol objects (e.g. a bare :class:`BackendStack` over a shard
+        router without display columns) may not declare any; the site then
+        simply renders the searchable attributes.
+        """
+        backend = self.interface
+        columns = getattr(backend, "display_columns", None)
+        if columns is None:
+            raw = getattr(backend, "raw", None)
+            columns = getattr(raw, "display_columns", ())
+        return tuple(columns)

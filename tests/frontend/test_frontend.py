@@ -110,6 +110,22 @@ class TestDashboard:
         with pytest.raises(ValueError):
             Dashboard(sampler, recent_samples=-1)
 
+    def test_dashboard_renders_the_attached_backend_stack(self, tiny_table):
+        from repro.backends import engine_stack
+        from repro.database.limits import QueryBudget
+
+        stack = engine_stack(tiny_table, k=2, budget=QueryBudget(limit=50), history=True)
+        sampler = HDSampler(stack, HDSamplerConfig(n_samples=4, tradeoff=TradeoffSlider(1.0), seed=4))
+        dashboard = Dashboard(sampler, backend=stack)
+        sampler.run()
+        line = dashboard.render_backend_line()
+        assert "QueryEngineBackend" in line and "issued" in line
+        assert "budget" in line and "history saved" in line
+
+    def test_dashboard_backend_line_without_backend(self, tiny_interface):
+        sampler = HDSampler(tiny_interface, HDSamplerConfig(n_samples=2, seed=3))
+        assert Dashboard(sampler).render_backend_line() == "no backend attached"
+
 
 class TestCli:
     def test_parser_defaults(self):
@@ -151,3 +167,26 @@ class TestCli:
     def test_cli_rejects_unknown_binding_attribute(self, capsys):
         exit_code = main(["--rows", "100", "--samples", "5", "--where", "engine=V8"])
         assert exit_code == 2
+
+    def test_cli_sharded_run_matches_unsharded(self, capsys):
+        flags = ["--rows", "400", "--top-k", "20", "--samples", "10",
+                 "--tradeoff", "1.0", "--seed", "6", "--histogram", "make"]
+        assert main(flags + ["--shards", "1"]) == 0
+        unsharded = capsys.readouterr().out
+        assert main(flags + ["--shards", "4"]) == 0
+        sharded = capsys.readouterr().out
+        assert "ShardRouter" in sharded and "ShardRouter" not in unsharded
+        # Identical samples, histograms and query accounting either way.
+        assert [l for l in sharded.splitlines() if "samples=" in l] == [
+            l for l in unsharded.splitlines() if "samples=" in l
+        ]
+        assert [l for l in sharded.splitlines() if "|" in l and "issued" not in l] == [
+            l for l in unsharded.splitlines() if "|" in l and "issued" not in l
+        ]
+        # Same queries issued, counted once, on either access path.
+        assert [l for l in sharded.splitlines() if "issued" in l][0].endswith(
+            [l for l in unsharded.splitlines() if "issued" in l][0].split("|")[-1]
+        )
+
+    def test_cli_rejects_bad_shard_count(self, capsys):
+        assert main(["--rows", "100", "--samples", "5", "--shards", "0"]) == 2

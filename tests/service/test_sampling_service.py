@@ -352,3 +352,21 @@ class TestRunAll:
         job.run()
         text = service.describe()
         assert "alpha" in text and "completed" in text
+
+    def test_backend_statistics_surfaces_the_layer_stack(self, tiny_table, tiny_interface):
+        from repro.backends import sharded_stack
+        from repro.database.limits import QueryBudget
+
+        stack = sharded_stack(tiny_table, 2, k=2, budget=QueryBudget(limit=99), history=True)
+        service = SamplingService({"classic": tiny_interface, "sharded": stack})
+        service.submit(_config(3, seed=60), backend="sharded").run()
+
+        report = service.backend_statistics("sharded")
+        assert report["access_path"].endswith("ShardRouter")
+        assert report["statistics"]["queries_issued"] > 0
+        assert report["budget"]["limit"] == 99
+        assert report["history"]["submissions"] >= report["statistics"]["queries_issued"]
+
+        classic = service.backend_statistics("classic")
+        assert classic["access_path"].endswith("QueryEngineBackend")
+        assert classic["history"] is None
