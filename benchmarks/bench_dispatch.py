@@ -1,0 +1,220 @@
+"""Concurrent-dispatch benchmark: overlapped round-trips, identical bytes (PR 4).
+
+The paper's sampler is rate-limited by round-trips to the hidden database.
+This benchmark answers the question the dispatch subsystem exists for: when
+each shard sub-query costs a network-shaped round-trip, does scattering the
+sub-queries over a thread pool actually buy the wall-clock back?
+
+Three sections:
+
+* **parallel_shards** (guarded) — 4 table shards, each wrapped in an
+  ``UnreliableLayer(latency=...)`` simulating a per-request round-trip, behind
+  a serial ``ShardRouter`` vs a ``ConcurrentShardRouter``.  The merged
+  responses are asserted byte-identical first; then the parallel router must
+  deliver **≥ 2× the serial throughput** (it approaches 4× — the serial
+  router pays 4 round-trips per query, the parallel one pays ~1).
+* **inprocess_shards** (informational) — the same routers over bare
+  CPU-bound shards, no latency.  Honest numbers: the interpreter lock
+  serialises pure-Python ranking, so threads buy ~nothing here; this section
+  documents that parallel dispatch is a *latency* optimisation, not a CPU one.
+* **remote_http** (informational) — a live ``repro.web.httpd`` endpoint on a
+  loopback socket behind ``remote_stack``: single-client round-trip rate, and
+  a ``DispatchLayer`` batch fan-out rate over the same endpoint.
+
+Usage (mirrors the other benchmark scripts)::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py            # full run (50k rows)
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --quick    # reduced workload
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --check    # assert the 2x floor
+
+Results are written to ``BENCH_dispatch.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.backends import (
+    ConcurrentShardRouter,
+    DispatchLayer,
+    ShardRouter,
+    TableShardBackend,
+    UnreliableLayer,
+    engine_stack,
+    remote_stack,
+)
+from repro.database.query import ConjunctiveQuery
+from repro.datasets.vehicles import VehiclesConfig, generate_vehicles_table
+from repro.web.httpd import HiddenDatabaseHTTPServer
+
+K = 100
+SEED = 2026
+N_SHARDS = 4
+#: Simulated per-request round-trip of one shard backend, seconds.  4 ms is
+#: conservative for a LAN database hop; WAN latencies only widen the gap.
+SHARD_LATENCY = 0.004
+
+#: Acceptance floor: the parallel router must at least halve the wall clock
+#: of latency-bound 4-shard dispatch (the theoretical ceiling is ~4x).
+MIN_PARALLEL_SPEEDUP = 2.0
+
+
+def _random_queries(schema, rng: random.Random, count: int, min_preds: int = 1, max_preds: int = 3):
+    queries = []
+    for _ in range(count):
+        n = rng.randint(min_preds, min(max_preds, len(schema)))
+        attributes = rng.sample(schema.attribute_names, n)
+        assignment = {
+            name: rng.choice(schema.attribute(name).domain.values) for name in attributes
+        }
+        queries.append(ConjunctiveQuery.from_assignment(schema, assignment))
+    return queries
+
+
+def _time(action, operands) -> float:
+    start = time.perf_counter()
+    for operand in operands:
+        action(operand)
+    return time.perf_counter() - start
+
+
+def _latency_shards(table, ranking=None) -> list[UnreliableLayer]:
+    """The 4 partitions, each behind a simulated per-request round-trip."""
+    return [
+        UnreliableLayer(
+            TableShardBackend(table, K, shard_index, N_SHARDS, ranking=ranking),
+            latency=SHARD_LATENCY,
+        )
+        for shard_index in range(N_SHARDS)
+    ]
+
+
+def bench_parallel_shards(table, queries) -> dict:
+    """Latency-bound shard dispatch: serial vs thread-pooled, same bytes."""
+    serial = ShardRouter(_latency_shards(table))
+    parallel = ConcurrentShardRouter(_latency_shards(table), max_workers=N_SHARDS)
+    # Byte-identical first, fast second.
+    for query in queries[: min(20, len(queries))]:
+        assert serial.submit(query) == parallel.submit(query), str(query)
+    serial_time = _time(serial.submit, queries)
+    parallel_time = _time(parallel.submit, queries)
+    parallel.close()
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    return {
+        "queries": len(queries),
+        "n_shards": N_SHARDS,
+        "shard_latency_ms": SHARD_LATENCY * 1000,
+        "serial_ops_per_sec": round(len(queries) / serial_time, 1),
+        "parallel_ops_per_sec": round(len(queries) / parallel_time, 1),
+        "speedup": round(speedup, 2),
+    }
+
+
+def bench_inprocess_shards(table, queries) -> dict:
+    """The honest control: CPU-bound shards, where the GIL caps the win."""
+    serial = ShardRouter.over_table(table, N_SHARDS, k=K)
+    parallel = ConcurrentShardRouter.over_table(table, N_SHARDS, k=K, max_workers=N_SHARDS)
+    for query in queries[: min(20, len(queries))]:
+        assert serial.submit(query) == parallel.submit(query), str(query)
+    serial_time = _time(serial.submit, queries)
+    parallel_time = _time(parallel.submit, queries)
+    parallel.close()
+    return {
+        "queries": len(queries),
+        "serial_ops_per_sec": round(len(queries) / serial_time, 1),
+        "parallel_ops_per_sec": round(len(queries) / parallel_time, 1),
+        "speedup": round(serial_time / parallel_time, 2) if parallel_time > 0 else None,
+    }
+
+
+def bench_remote_http(table, queries) -> dict:
+    """A live loopback endpoint: single-client rate and batched fan-out rate."""
+    served = engine_stack(table, K, statistics=False)
+    with HiddenDatabaseHTTPServer(served) as server:
+        stack = remote_stack(server.url)
+        single_time = _time(stack.submit, queries)
+        fanout = DispatchLayer(stack.top, max_workers=N_SHARDS)
+        batch_time = time.perf_counter()
+        fanout.submit_many(queries)
+        batch_time = time.perf_counter() - batch_time
+        fanout.close()
+        retry_stats = stack.layer(UnreliableLayer).statistics.as_dict()
+    return {
+        "queries": len(queries),
+        "single_ops_per_sec": round(len(queries) / single_time, 1),
+        "batched_ops_per_sec": round(len(queries) / batch_time, 1),
+        "batch_workers": N_SHARDS,
+        "retry_statistics": retry_stats,
+    }
+
+
+def run(n_rows: int, n_latency_queries: int, n_cpu_queries: int, n_http_queries: int) -> dict:
+    rng = random.Random(SEED)
+    table = generate_vehicles_table(VehiclesConfig(n_rows=n_rows, seed=SEED))
+    latency_queries = _random_queries(table.schema, rng, n_latency_queries)
+    cpu_queries = _random_queries(table.schema, rng, n_cpu_queries)
+    http_queries = _random_queries(table.schema, rng, n_http_queries)
+    shards = bench_parallel_shards(table, latency_queries)
+    inprocess = bench_inprocess_shards(table, cpu_queries)
+    remote = bench_remote_http(table, http_queries)
+    print(
+        f"rows={n_rows}  latency-bound {N_SHARDS}-shard dispatch: "
+        f"{shards['parallel_ops_per_sec']:>7.1f} vs {shards['serial_ops_per_sec']:>7.1f} q/s "
+        f"({shards['speedup']:.2f}x)   in-process: {inprocess['speedup']:.2f}x   "
+        f"remote http: {remote['single_ops_per_sec']:.1f} q/s single, "
+        f"{remote['batched_ops_per_sec']:.1f} q/s batched"
+    )
+    return {
+        "k": K,
+        "seed": SEED,
+        "rows": n_rows,
+        "parallel_shards": shards,
+        "inprocess_shards": inprocess,
+        "remote_http": remote,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the parallel-dispatch speedup regresses past the floor")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_dispatch.json",
+                        help="where to write the machine-readable report")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        report = run(n_rows=5_000, n_latency_queries=60, n_cpu_queries=150, n_http_queries=60)
+    else:
+        report = run(n_rows=50_000, n_latency_queries=200, n_cpu_queries=400, n_http_queries=150)
+    report["mode"] = "quick" if args.quick else "full"
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        speedup = report["parallel_shards"]["speedup"]
+        if speedup < MIN_PARALLEL_SPEEDUP:
+            print(
+                f"FAIL: parallel {N_SHARDS}-shard dispatch speedup {speedup:.2f}x "
+                f"< {MIN_PARALLEL_SPEEDUP:.0f}x floor"
+            )
+            return 1
+        print(
+            f"check passed: parallel {N_SHARDS}-shard dispatch "
+            f"{speedup:.2f}x >= {MIN_PARALLEL_SPEEDUP:.0f}x floor"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,14 +72,19 @@ def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[fl
         raise ValueError("cannot choose from an empty sequence")
     if len(items) != len(weights):
         raise ValueError("items and weights must have the same length")
-    total = float(sum(weights))
+    # Validate every weight before accumulating anything: a negative weight
+    # past the selection threshold would otherwise go undetected and silently
+    # skew the distribution of all later draws.
+    total = 0.0
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        total += float(weight)
     if total <= 0.0:
         raise ValueError("total weight must be positive")
     threshold = rng.random() * total
     cumulative = 0.0
     for item, weight in zip(items, weights):
-        if weight < 0:
-            raise ValueError("weights must be non-negative")
         cumulative += weight
         if threshold < cumulative:
             return item

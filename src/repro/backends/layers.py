@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import threading
+import time
 
 from repro._rng import resolve_rng
 from repro.backends.base import BackendLayer, RawBackend
@@ -43,9 +45,14 @@ class BudgetLayer(BackendLayer):
     def __init__(self, inner: RawBackend, budget: QueryBudget | None = None) -> None:
         super().__init__(inner)
         self.budget = budget if budget is not None else QueryBudget()
+        # Charging is a read-check-increment on a shared counter; the lock
+        # keeps it atomic when a DispatchLayer fans submissions out over
+        # threads, so a nearly-exhausted budget can never be overspent.
+        self._lock = threading.Lock()
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
-        self.budget.charge(1)
+        with self._lock:
+            self.budget.charge(1)
         return self.inner.submit(query)
 
 
@@ -65,10 +72,14 @@ class StatisticsLayer(BackendLayer):
     def __init__(self, inner: RawBackend, statistics: InterfaceStatistics | None = None) -> None:
         super().__init__(inner)
         self.statistics = statistics if statistics is not None else InterfaceStatistics()
+        # record() is five read-modify-write counter updates; without the lock
+        # concurrent submissions through a DispatchLayer would lose counts.
+        self._lock = threading.Lock()
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         response = self.inner.submit(query)
-        self.statistics.record(response)
+        with self._lock:
+            self.statistics.record(response)
         return response
 
     def reset(self) -> None:
@@ -116,17 +127,21 @@ class CountModeLayer(BackendLayer):
             return 0
         spread = self.noise * true_count
         noisy = true_count + self._rng.uniform(-spread, spread)
-        return max(0, int(round(noisy)))
+        # Never round a non-empty result down to 0: count-leveraging samplers
+        # treat a reported 0 as "provably empty" and would prune live subtrees.
+        return max(1, int(round(noisy)))
 
 
 @dataclasses.dataclass
 class UnreliableStatistics:
-    """How much injected chaos the layer produced and absorbed."""
+    """How much chaos the layer produced (injected) and absorbed (either kind)."""
 
     attempts: int = 0            #: forwarded attempts, including retried ones
     transient_failures: int = 0  #: injected transient faults
     rate_limited: int = 0        #: injected rate-limit rejections
-    retries: int = 0             #: attempts re-issued after an injected fault
+    backend_transient_failures: int = 0  #: real transient faults raised by the inner backend
+    backend_rate_limited: int = 0        #: real rate-limit rejections raised by the inner backend
+    retries: int = 0             #: attempts re-issued after a fault of either origin
     gave_up: int = 0             #: submissions that failed even after retrying
 
     def as_dict(self) -> dict[str, int]:
@@ -135,7 +150,8 @@ class UnreliableStatistics:
 
 
 class UnreliableLayer(BackendLayer):
-    """Injects rate-limit / transient-failure scenarios, with retries.
+    """Injects rate-limit / transient-failure scenarios — and retries both
+    injected faults and the real ones the inner backend raises.
 
     Real scraping workloads see 429s and timeouts; samplers and services
     built on this stack can be exercised against those failure modes without
@@ -145,7 +161,22 @@ class UnreliableLayer(BackendLayer):
     :class:`~repro.exceptions.RateLimitedError`.  The layer itself retries up
     to ``max_retries`` times, so with retries enabled the stack self-heals
     while :attr:`statistics` records the weather; with ``max_retries=0``
-    every injected fault surfaces to the caller.
+    every fault surfaces to the caller.
+
+    The same retry loop covers :class:`TransientBackendError` /
+    :class:`RateLimitedError` raised *by the inner backend* — which, now that
+    :class:`~repro.backends.remote.RemoteBackend` maps HTTP 429/503 onto
+    those exceptions, means real network faults recover exactly like injected
+    ones (tracked separately as ``backend_*`` counters).  Non-transient
+    errors (e.g. an exhausted budget) propagate immediately.  With all
+    injection parameters at their defaults the layer is a pure retry layer —
+    what :func:`~repro.backends.stack.remote_stack` builds on.
+
+    ``retry_backoff`` sleeps ``retry_backoff * 2**(attempt-1)`` seconds
+    before each re-attempt (0 disables, the right setting for in-process
+    chaos tests); ``latency`` sleeps before every forwarded attempt,
+    simulating a network round-trip — how ``benchmarks/bench_dispatch.py``
+    makes shard fan-out latency-bound without a socket.
     """
 
     def __init__(
@@ -155,6 +186,8 @@ class UnreliableLayer(BackendLayer):
         rate_limit_every: int | None = None,
         max_retries: int = 3,
         seed: int | random.Random | None = 0,
+        retry_backoff: float = 0.0,
+        latency: float = 0.0,
     ) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise InterfaceError("failure_rate must be in [0, 1)")
@@ -162,25 +195,52 @@ class UnreliableLayer(BackendLayer):
             raise InterfaceError("rate_limit_every must be positive when given")
         if max_retries < 0:
             raise InterfaceError("max_retries must be non-negative")
+        if retry_backoff < 0 or latency < 0:
+            raise InterfaceError("retry_backoff and latency must be non-negative")
         super().__init__(inner)
         self.failure_rate = failure_rate
         self.rate_limit_every = rate_limit_every
         self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.latency = latency
         self.statistics = UnreliableStatistics()
         self._rng = resolve_rng(seed)
         self._since_rate_limit = 0
+        # Counter updates and the injection schedule (_since_rate_limit, the
+        # RNG) are read-modify-write on shared state; the lock keeps the
+        # statistics exact when the layer sits under a DispatchLayer.  The
+        # *interleaving* of the schedule across threads is still scheduling-
+        # dependent — use per-thread instances when it must be deterministic.
+        self._lock = threading.Lock()
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         last_error: Exception | None = None
         for attempt in range(self.max_retries + 1):
             if attempt > 0:
-                self.statistics.retries += 1
-            self.statistics.attempts += 1
-            error = self._inject_fault()
-            if error is None:
+                with self._lock:
+                    self.statistics.retries += 1
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+            if self.latency > 0.0:
+                time.sleep(self.latency)
+            with self._lock:
+                self.statistics.attempts += 1
+                error = self._inject_fault()
+            if error is not None:
+                last_error = error
+                continue
+            try:
                 return self.inner.submit(query)
-            last_error = error
-        self.statistics.gave_up += 1
+            except RateLimitedError as backend_error:
+                with self._lock:
+                    self.statistics.backend_rate_limited += 1
+                last_error = backend_error
+            except TransientBackendError as backend_error:
+                with self._lock:
+                    self.statistics.backend_transient_failures += 1
+                last_error = backend_error
+        with self._lock:
+            self.statistics.gave_up += 1
         assert last_error is not None
         raise last_error
 

@@ -1,0 +1,131 @@
+"""The remote HTTP access path: the raw backend contract over a real socket.
+
+:class:`RemoteBackend` is the client half of :mod:`repro.web.httpd`: it
+learns the searchable schema and top-``k`` from ``GET /api/schema`` at
+construction, then answers every ``submit`` with one
+``GET /api/submit?<query string>`` round-trip — the query travels in the
+ordinary :mod:`repro.web.urlcodec` form encoding, the response comes back as
+the :mod:`repro.web.jsoncodec` JSON payload.
+
+Like every raw backend it does **no** accounting, no caching, no retrying —
+it reports exactly what the server said.  What it adds to the raw contract
+is honest *fault translation*: an HTTP 429 is raised as
+:class:`~repro.exceptions.RateLimitedError`, a 5xx (and any socket-level
+failure — connection refused, timeout) as
+:class:`~repro.exceptions.TransientBackendError`, a 403 carrying a budget
+payload as :class:`~repro.exceptions.QueryBudgetExceededError`, and a 400 as
+:class:`~repro.exceptions.FormParseError`.  Stack an
+:class:`~repro.backends.layers.UnreliableLayer` above it (what
+:func:`~repro.backends.stack.remote_stack` does) and real network faults
+self-heal through the very retry loop the chaos tests exercise.
+
+Only the Python standard library is used (``urllib.request``), so the
+remote path works wherever the rest of the reproduction does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+
+from repro.database.interface import InterfaceResponse
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import Schema
+from repro.exceptions import (
+    FormParseError,
+    QueryBudgetExceededError,
+    RateLimitedError,
+    TransientBackendError,
+)
+from repro.web.httpd import API_SCHEMA_PATH, API_SUBMIT_PATH
+from repro.web.jsoncodec import response_from_dict, schema_from_dict
+from repro.web.urlcodec import encode_query
+
+
+class RemoteBackend:
+    """Answer conjunctive queries by calling a remote HTTP endpoint.
+
+    ``base_url`` is the endpoint root (e.g. ``http://127.0.0.1:8080``);
+    ``timeout`` is the per-request socket timeout in seconds.  The
+    constructor performs one round-trip to fetch the schema, so a dead or
+    unreachable endpoint fails fast with a
+    :class:`~repro.exceptions.TransientBackendError` instead of on the first
+    sample.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(f"base_url must be an http(s) URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self._schema, self._k = schema_from_dict(self._get_json(API_SCHEMA_PATH))
+
+    # -- RawBackend contract -------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The searchable schema advertised by the remote endpoint."""
+        return self._schema
+
+    @property
+    def k(self) -> int:
+        """Top-``k`` display limit advertised by the remote endpoint."""
+        return self._k
+
+    def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
+        """Answer ``query`` with one HTTP round-trip; faults raise typed errors."""
+        encoded = encode_query(query)
+        path = f"{API_SUBMIT_PATH}?{encoded}" if encoded else API_SUBMIT_PATH
+        return response_from_dict(self._schema, self._get_json(path))
+
+    # -- internals ------------------------------------------------------------
+
+    def _get_json(self, path: str) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path, headers={"Accept": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            raise self._translate(error) from error
+        except urllib.error.URLError as error:
+            # Connection refused, DNS failure, timeout: all transient from
+            # the client's point of view — the retry layer decides policy.
+            raise TransientBackendError(f"remote backend unreachable: {error.reason}") from error
+        except (http.client.HTTPException, OSError) as error:
+            # Failures *after* the request went out — server closed the
+            # connection before/mid-response (RemoteDisconnected,
+            # IncompleteRead, ECONNRESET, timeouts) — are equally transient;
+            # without this clause they would escape raw past the retry layer.
+            raise TransientBackendError(
+                f"remote backend dropped the connection: {type(error).__name__}: {error}"
+            ) from error
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise FormParseError(
+                f"remote backend returned a malformed payload: {error}"
+            ) from error
+
+    def _translate(self, error: urllib.error.HTTPError) -> Exception:
+        """Map an HTTP error status onto the library's exception vocabulary."""
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+        message = payload.get("message", f"HTTP {error.code}")
+        if error.code == 429:
+            return RateLimitedError(payload.get("every"))
+        if error.code == 403 and payload.get("error") == "budget_exhausted":
+            return QueryBudgetExceededError(
+                int(payload.get("issued", 0)), int(payload.get("budget", 0))
+            )
+        if error.code >= 500:
+            return TransientBackendError(f"remote backend failure: {message}")
+        return FormParseError(f"remote backend rejected the request: {message}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteBackend(base_url={self.base_url!r}, k={self._k})"

@@ -231,19 +231,41 @@ class ShardRouter:
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         """Fan ``query`` out, merge the ranked answers, apply the top-``k`` cut."""
+        return self._merge(query, self._gather(query))
+
+    def _gather(self, query: ConjunctiveQuery) -> list[InterfaceResponse]:
+        """Per-shard responses, in shard order.
+
+        This is the scatter half of the router, factored out so
+        :class:`~repro.backends.dispatch.ConcurrentShardRouter` can override
+        *how* the sub-queries are issued (thread pool vs loop) without
+        touching what they compute — the merge consumes responses in shard
+        order either way, which is what makes the two byte-identical.
+        """
         if self._partition_index is not None:
-            # Shards partition one table: intersect once on the shared index,
-            # bucket the matches by owner, let each shard rank its own slice.
-            n = len(self._shards)
-            buckets: list[list[int]] = [[] for _ in range(n)]
-            for row_id in self._partition_index.matching_row_ids(query):
-                buckets[row_id % n].append(row_id)
-            responses = [
+            return [
                 shard.respond(query, bucket)
-                for shard, bucket in zip(self._shards, buckets)
+                for shard, bucket in zip(self._shards, self._partition(query))
             ]
-        else:
-            responses = [shard.submit(query) for shard in self._shards]
+        return [shard.submit(query) for shard in self._shards]
+
+    def _partition(self, query: ConjunctiveQuery) -> list[list[int]]:
+        """Bucket the shared-index match list by owning shard.
+
+        Only valid on the :meth:`over_table` layout: intersect once on the
+        shared index, hand each shard its slice to rank, instead of paying
+        one full intersection per shard.
+        """
+        n = len(self._shards)
+        buckets: list[list[int]] = [[] for _ in range(n)]
+        for row_id in self._partition_index.matching_row_ids(query):
+            buckets[row_id % n].append(row_id)
+        return buckets
+
+    def _merge(
+        self, query: ConjunctiveQuery, responses: list[InterfaceResponse]
+    ) -> InterfaceResponse:
+        """Sum the exact shard counts, merge ranked tuples, re-cut to top-``k``."""
         total = 0
         for response in responses:
             if response.reported_count is None:

@@ -18,6 +18,15 @@ Both accept ``history=True`` to slot a
 :class:`~repro.backends.history.HistoryLayer` on top, and the raw backend can
 be anything — including a :class:`~repro.backends.shard.ShardRouter`, which
 is how a sharded catalogue gets budgets, count modes and history in one line.
+
+Two more builders cover the scaled-out deployments: :func:`sharded_stack`
+accepts ``parallel=N`` to scatter sub-queries over a
+:class:`~repro.backends.dispatch.ConcurrentShardRouter` thread pool (same
+bytes, overlapped round-trips), and :func:`remote_stack` puts the usual
+layers — plus a retrying
+:class:`~repro.backends.layers.UnreliableLayer` — over a
+:class:`~repro.backends.remote.RemoteBackend` talking to a
+:mod:`repro.web.httpd` endpoint across a real socket.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from typing import Callable, Sequence
 from repro.backends.adapters import QueryEngineBackend, WebPageBackend
 from repro.backends.base import RawBackend, iter_chain
 from repro.backends.history import HistoryLayer
-from repro.backends.layers import BudgetLayer, CountModeLayer, StatisticsLayer
+from repro.backends.layers import BudgetLayer, CountModeLayer, StatisticsLayer, UnreliableLayer
 from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
 from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
@@ -84,6 +93,20 @@ class BackendStack:
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         """Submit one conjunctive query through every layer."""
         return self.top.submit(query)
+
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Submit a batch of independent queries, responses in input order.
+
+        When the outermost layer is a
+        :class:`~repro.backends.dispatch.DispatchLayer` (``web_stack(...,
+        parallel=N)``) the batch is issued concurrently; otherwise this is a
+        plain loop, so callers can always batch without caring how the stack
+        was built.
+        """
+        submit_many = getattr(self.top, "submit_many", None)
+        if callable(submit_many):
+            return submit_many(queries)
+        return [self.top.submit(query) for query in queries]
 
     # -- introspection ---------------------------------------------------------
 
@@ -222,6 +245,7 @@ def web_stack(
     budget: QueryBudget | None = None,
     history: bool = False,
     max_history_entries: int | None = None,
+    parallel: int | None = None,
 ) -> BackendStack:
     """The HTML-scraping access path as a stack.
 
@@ -230,6 +254,12 @@ def web_stack(
     layer sits directly on the page fetcher, so with ``history=True`` the
     counters report *actual page fetches* — every history hit is a whole
     round-trip saved, which ``benchmarks/bench_backend_stack.py`` measures.
+
+    ``parallel=N`` puts a :class:`~repro.backends.dispatch.DispatchLayer` on
+    top, so ``stack.submit_many(queries)`` fetches up to ``N`` pages
+    concurrently.  It cannot be combined with ``history=True``: the history
+    layer is deliberately single-threaded (see ``docs/architecture.md``) and
+    must stay the outermost layer when present.
     """
     raw = WebPageBackend(site, schema, display_columns=display_columns)
     return _compose(
@@ -238,6 +268,7 @@ def web_stack(
         budget=budget,
         history=history,
         max_history_entries=max_history_entries,
+        parallel=parallel,
     )
 
 
@@ -254,6 +285,7 @@ def sharded_stack(
     history: bool = False,
     max_history_entries: int | None = None,
     statistics: bool = True,
+    parallel: int | None = None,
 ) -> BackendStack:
     """A sharded catalogue behind the same layer stack as the direct path.
 
@@ -261,12 +293,27 @@ def sharded_stack(
     ``n_shards`` partitions sharing one :class:`TableIndex`; everything the
     client sees (counts, budget, statistics, history) is identical to
     :func:`engine_stack` over the unsharded table.
+
+    ``parallel=N`` swaps in a
+    :class:`~repro.backends.dispatch.ConcurrentShardRouter` that scatters
+    the per-shard sub-queries over ``N`` worker threads — responses stay
+    byte-identical (the property tests prove it), only the round-trips
+    overlap.  ``parallel=1`` (or ``None``) keeps the serial router.
     """
+    from repro.backends.dispatch import ConcurrentShardRouter
     from repro.backends.shard import ShardRouter
 
-    raw = ShardRouter.over_table(
-        table, n_shards, k, ranking=ranking, display_columns=display_columns
-    )
+    if parallel is not None and parallel < 1:
+        raise ConfigurationError("parallel must be at least 1 when given")
+    if parallel is not None and parallel > 1:
+        raw: RawBackend = ConcurrentShardRouter.over_table(
+            table, n_shards, k, ranking=ranking, display_columns=display_columns,
+            max_workers=parallel,
+        )
+    else:
+        raw = ShardRouter.over_table(
+            table, n_shards, k, ranking=ranking, display_columns=display_columns
+        )
     return _compose(
         raw,
         count_mode=count_mode,
@@ -279,6 +326,48 @@ def sharded_stack(
     )
 
 
+def remote_stack(
+    url: str,
+    budget: QueryBudget | None = None,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+    max_retries: int = 3,
+    retry_backoff: float = 0.05,
+    timeout: float = 10.0,
+) -> BackendStack:
+    """A remote HTTP endpoint behind the same layer stack as the local paths.
+
+    The raw backend is a :class:`~repro.backends.remote.RemoteBackend`
+    speaking JSON-over-HTTP to a :mod:`repro.web.httpd` endpoint; directly
+    above it sits a pure-retry :class:`~repro.backends.layers.UnreliableLayer`
+    (no injection) so real 429s and 5xxs self-heal with exponential backoff
+    — set ``max_retries=0`` to surface every network fault to the caller.
+    No count-mode layer: like the scraping path, whatever count the server
+    reports was already shaped server-side.
+
+    Retries sit *below* the budget and statistics layers: a submission that
+    needed three attempts still charges one budgeted query and counts once —
+    the client asked once; the weather is the retry layer's business (its
+    ``statistics`` records it).
+    """
+    from repro.backends.remote import RemoteBackend
+
+    raw = RemoteBackend(url, timeout=timeout)
+    retry: LayerFactory = lambda inner: UnreliableLayer(
+        inner, max_retries=max_retries, retry_backoff=retry_backoff
+    )
+    return _compose(
+        raw,
+        count_mode=None,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+        statistics=statistics,
+        inner_layers=(retry,),
+    )
+
+
 def _compose(
     raw: RawBackend,
     count_mode: CountMode | None,
@@ -288,8 +377,17 @@ def _compose(
     history: bool = False,
     max_history_entries: int | None = None,
     statistics: bool = True,
+    parallel: int | None = None,
+    inner_layers: Sequence[LayerFactory] = (),
 ) -> BackendStack:
-    layers: list[LayerFactory] = []
+    if parallel is not None and parallel < 1:
+        raise ConfigurationError("parallel must be at least 1 when given")
+    if parallel is not None and parallel > 1 and history:
+        raise ConfigurationError(
+            "parallel dispatch cannot sit above a history layer — HistoryLayer is "
+            "single-threaded by design; drop history=True or parallel"
+        )
+    layers: list[LayerFactory] = list(inner_layers)
     if count_mode is not None:
         layers.append(
             lambda inner: CountModeLayer(inner, mode=count_mode, noise=count_noise, seed=seed)
@@ -299,4 +397,8 @@ def _compose(
         layers.append(StatisticsLayer)
     if history:
         layers.append(lambda inner: HistoryLayer(inner, max_entries=max_history_entries))
+    if parallel is not None and parallel > 1:
+        from repro.backends.dispatch import DispatchLayer
+
+        layers.append(lambda inner: DispatchLayer(inner, max_workers=parallel))
     return BackendStack(raw, layers)

@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.backends import BackendStack, engine_stack, sharded_stack
+from repro.backends import BackendStack, engine_stack, remote_stack, sharded_stack
 from repro.core.config import HDSamplerConfig, SamplerAlgorithm
 from repro.core.tradeoff import TradeoffSlider
 from repro.database.interface import CountMode
@@ -62,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=1,
                         help="partition the simulated catalogue over N shard backends "
                              "behind one router (results are identical to --shards 1)")
+    parser.add_argument("--parallel", type=int, default=None, metavar="N",
+                        help="scatter shard sub-queries over N worker threads "
+                             "(requires --shards > 1, incompatible with --remote; "
+                             "results are identical to serial)")
+    parser.add_argument("--remote", default=None, metavar="URL",
+                        help="sample a remote hidden database served by a "
+                             "repro.web.httpd endpoint instead of simulating one locally "
+                             "(--dataset/--rows/--shards are then ignored)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--histogram", nargs="*", default=None,
                         help="attributes whose sampled histograms to print (default: first two)")
@@ -98,12 +106,26 @@ def _build_backend(args: argparse.Namespace) -> BackendStack:
     """The simulated hidden database as a composed backend stack.
 
     With ``--shards N`` the raw backend is a shard router over N partitions
-    sharing one table index; the layer stack above it (count mode, budget,
-    statistics) is identical either way, as are the sampled results.
+    sharing one table index; adding ``--parallel M`` scatters the sub-queries
+    over M worker threads.  The layer stack above (count mode, budget,
+    statistics) is identical either way, as are the sampled results.  With
+    ``--remote URL`` nothing is simulated: the stack talks JSON-over-HTTP to
+    the named endpoint, retrying real 429s/5xxs.
     """
     if args.shards < 1:
         raise ReproError("--shards must be at least 1")
+    if args.parallel is not None and args.parallel < 1:
+        raise ReproError("--parallel must be at least 1")
+    if args.parallel is not None and args.remote is not None:
+        raise ReproError(
+            "--parallel applies to shard dispatch only; the remote path submits "
+            "serially (drop --parallel, or shard server-side)"
+        )
+    if args.parallel is not None and args.parallel > 1 and args.shards < 2:
+        raise ReproError("--parallel needs --shards > 1 to have work to overlap")
     budget = QueryBudget(limit=args.budget) if args.budget is not None else QueryBudget()
+    if args.remote is not None:
+        return remote_stack(args.remote, budget=budget)
     count_mode = (
         CountMode.EXACT
         if args.algorithm == SamplerAlgorithm.COUNT_AIDED.value
@@ -123,6 +145,7 @@ def _build_backend(args: argparse.Namespace) -> BackendStack:
         return sharded_stack(
             table, args.shards, args.top_k, ranking=ranking, count_mode=count_mode,
             budget=budget, display_columns=display_columns, seed=args.seed,
+            parallel=args.parallel,
         )
     return engine_stack(
         table, args.top_k, ranking=ranking, count_mode=count_mode,

@@ -17,6 +17,12 @@ The old one-shot facade survives as a shim::
     HDSampler(db, config).run()
     # is now exactly
     SamplingService(db).submit(config).run()
+
+Backends may be given as ready objects or as ``http(s)://`` URL strings —
+a URL is resolved through :func:`repro.backends.stack.remote_stack`, so
+``SamplingService("http://db.example:8080")`` samples a remote hidden
+database served by :mod:`repro.web.httpd` with retrying fault handling,
+through exactly the same job API as a local one.
 """
 
 from __future__ import annotations
@@ -34,20 +40,41 @@ from repro.service.job import SamplingJob
 DEFAULT_BACKEND = "default"
 
 
+def _resolve_backend(backend: HiddenDatabase | str) -> HiddenDatabase:
+    """Accept a backend object as-is; resolve an ``http(s)://`` URL string.
+
+    A URL becomes a :func:`~repro.backends.stack.remote_stack` — remote
+    adapter under retry, budget and statistics layers — so the service's
+    accounting and job machinery work identically over the socket.
+    """
+    if isinstance(backend, str):
+        if not backend.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"string backends must be http(s):// URLs of a repro.web.httpd "
+                f"endpoint, got {backend!r}"
+            )
+        from repro.backends.stack import remote_stack
+
+        return remote_stack(backend)
+    return backend
+
+
 class SamplingService:
     """A long-lived sampling engine bound to one or several named backends."""
 
     def __init__(
         self,
-        backends: HiddenDatabase | Mapping[str, HiddenDatabase],
+        backends: HiddenDatabase | str | Mapping[str, HiddenDatabase | str],
         default_backend: str | None = None,
     ) -> None:
         if isinstance(backends, Mapping):
             if not backends:
                 raise ConfigurationError("a sampling service needs at least one backend")
-            self._backends: dict[str, HiddenDatabase] = dict(backends)
+            self._backends: dict[str, HiddenDatabase] = {
+                name: _resolve_backend(database) for name, database in backends.items()
+            }
         else:
-            self._backends = {DEFAULT_BACKEND: backends}
+            self._backends = {DEFAULT_BACKEND: _resolve_backend(backends)}
         if default_backend is None:
             default_backend = next(iter(self._backends))
         if default_backend not in self._backends:
@@ -71,11 +98,11 @@ class SamplingService:
         except KeyError:
             raise UnknownBackendError(name, tuple(self._backends)) from None
 
-    def add_backend(self, name: str, database: HiddenDatabase) -> None:
-        """Bind one more named hidden database to the service."""
+    def add_backend(self, name: str, database: HiddenDatabase | str) -> None:
+        """Bind one more named hidden database (object or ``http(s)://`` URL)."""
         if name in self._backends:
             raise ConfigurationError(f"backend {name!r} is already bound")
-        self._backends[name] = database
+        self._backends[name] = _resolve_backend(database)
 
     # -- job management --------------------------------------------------------------
 

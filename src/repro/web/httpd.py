@@ -1,0 +1,255 @@
+"""A real HTTP endpoint serving a hidden database over a socket.
+
+:class:`HiddenWebSite` keeps experiments hermetic by returning HTML strings
+in-process.  This module is the next step towards the paper's actual
+deployment platform (Apache + PHP + MySQL, Section 3.5): a stdlib
+``http.server`` endpoint that serves **any backend** — an adapter, a layered
+stack, a shard router — over a real TCP socket, speaking two dialects:
+
+* the JSON API consumed by :class:`repro.backends.remote.RemoteBackend` —
+  ``GET /api/schema`` describes the searchable schema and top-``k``;
+  ``GET /api/submit?<query string>`` answers one conjunctive query
+  (:mod:`repro.web.jsoncodec` defines the payloads, the query string is the
+  ordinary :mod:`repro.web.urlcodec` form encoding);
+* the HTML pages of the in-process site (``/search``, ``/results``), so a
+  browser — or a :class:`~repro.web.client.WebFormClient` pointed at a
+  socket-backed fetcher — sees the same catalogue a scraper would.
+
+Fault mapping is part of the contract: a
+:class:`~repro.exceptions.RateLimitedError` from the backend becomes HTTP
+**429** (with a ``Retry-After`` hint), any other
+:class:`~repro.exceptions.TransientBackendError` becomes **503**, an
+exhausted :class:`~repro.database.limits.QueryBudget` becomes **403** (not
+retryable), and a malformed query string becomes **400**.  The remote
+adapter maps these back onto the same exceptions, so an
+:class:`~repro.backends.layers.UnreliableLayer` above it retries *real*
+network faults exactly as it retries injected ones.
+
+The server is threaded (``ThreadingHTTPServer``): concurrent clients — e.g.
+a :class:`~repro.backends.dispatch.DispatchLayer` fanning a batch out — are
+served in parallel, which is why the layer counters lock (see
+``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.exceptions import (
+    FormParseError,
+    PageNotFoundError,
+    QueryBudgetExceededError,
+    QueryError,
+    RateLimitedError,
+    TransientBackendError,
+    WebFormError,
+)
+from repro.web.jsoncodec import response_to_dict, schema_to_dict
+from repro.web.server import HiddenWebSite
+from repro.web.urlcodec import decode_query
+
+#: JSON API paths served next to the HTML pages.
+API_SCHEMA_PATH = "/api/schema"
+API_SUBMIT_PATH = "/api/submit"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, answer, map library errors onto status codes."""
+
+    # The endpoint object is attached to the (Threading)HTTPServer instance.
+    server: "_Server"
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        # Routing and payload computation are fully resolved to (status,
+        # body) BEFORE any byte hits the socket: exceptions here become
+        # error responses, while a write failure on the already-started
+        # response (client gone) is terminal for the connection and must
+        # never trigger a second response on the same stream.
+        status, body, content_type, headers = self._route()
+        self.server.endpoint.count_request(status)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            # The client disconnected mid-write; there is nobody to answer.
+            self.close_connection = True
+
+    def _route(self) -> tuple[int, bytes, str, dict]:
+        """Resolve the request to ``(status, body, content_type, headers)``."""
+        endpoint = self.server.endpoint
+        split = urlsplit(self.path)
+        headers: dict = {}
+        try:
+            if split.path == API_SCHEMA_PATH:
+                payload: dict = endpoint.schema_payload()
+                status = 200
+            elif split.path == API_SUBMIT_PATH:
+                payload = endpoint.submit_payload(split.query)
+                status = 200
+            else:
+                page = endpoint.page(self.path)
+                return 200, page.encode("utf-8"), "text/html; charset=utf-8", headers
+        except RateLimitedError as error:
+            status = 429
+            payload = {"error": "rate_limited", "message": str(error), "every": error.every}
+            headers["Retry-After"] = "1"
+        except TransientBackendError as error:
+            status, payload = 503, {"error": "transient", "message": str(error)}
+        except QueryBudgetExceededError as error:
+            status = 403
+            payload = {
+                "error": "budget_exhausted",
+                "message": str(error),
+                "issued": error.issued,
+                "budget": error.budget,
+            }
+        except PageNotFoundError as error:
+            status, payload = 404, {"error": "not_found", "message": str(error)}
+        except (FormParseError, QueryError, WebFormError) as error:
+            status, payload = 400, {"error": "bad_request", "message": str(error)}
+        except Exception as error:  # noqa: BLE001 - a server must always answer
+            # Without this the handler thread would die and the socket close
+            # with no status line — the client would misread a deterministic
+            # server-side bug as "unreachable" and burn retries on it.  A 500
+            # carries the real message back in one round-trip.
+            status = 500
+            payload = {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+        return status, json.dumps(payload).encode("utf-8"), "application/json", headers
+
+    def log_message(self, *args: object) -> None:  # pragma: no cover - silence
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning endpoint."""
+
+    daemon_threads = True
+    endpoint: "HiddenDatabaseHTTPServer"
+
+
+class HiddenDatabaseHTTPServer:
+    """Serve one hidden-database backend over a real TCP socket.
+
+    ``backend`` is any object satisfying the raw backend protocol (adapter,
+    layered :class:`~repro.backends.stack.BackendStack`, shard router, a
+    classic facade).  ``port=0`` (the default) lets the OS pick a free port —
+    the right choice for tests and benchmarks; read :attr:`url` after
+    construction.  The server binds at construction time but only answers
+    once :meth:`start` spawns the serving thread (or :meth:`serve_forever`
+    takes over the calling thread).
+
+    Used as a context manager it starts on enter and stops on exit::
+
+        with HiddenDatabaseHTTPServer(stack) as server:
+            backend = RemoteBackend(server.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        backend: object,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        serve_pages: bool = True,
+    ) -> None:
+        self.backend = backend
+        #: The HTML dialect is served through an ordinary in-process site
+        #: over the same backend, so both dialects answer identically.
+        self.site = HiddenWebSite(backend) if serve_pages else None
+        #: Handler threads run concurrently; a HistoryLayer anywhere in the
+        #: served chain is single-threaded by design, so submissions are
+        #: serialised through one lock when (and only when) one is present —
+        #: the server-side mirror of _compose refusing parallel + history.
+        from repro.backends.base import iter_chain
+        from repro.backends.history import HistoryLayer
+
+        needs_serialising = any(
+            isinstance(node, HistoryLayer) for node in iter_chain(backend)
+        )
+        self._submit_lock = threading.Lock() if needs_serialising else None
+        self._server = _Server((host, port), _Handler)
+        self._server.endpoint = self
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.fault_responses = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint, e.g. ``http://127.0.0.1:49152``."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HiddenDatabaseHTTPServer":
+        """Serve in a background daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"hidden-db-httpd:{self._server.server_address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive use
+        """Serve on the calling thread until interrupted (CLI deployments)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "HiddenDatabaseHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- request handling (called from handler threads) -------------------------
+
+    def schema_payload(self) -> dict:
+        """The ``/api/schema`` response body."""
+        return schema_to_dict(self.backend.schema, self.backend.k)
+
+    def submit_payload(self, query_string: str) -> dict:
+        """The ``/api/submit`` response body for one encoded query."""
+        query = decode_query(self.backend.schema, query_string)
+        if self._submit_lock is not None:
+            with self._submit_lock:
+                return response_to_dict(self.backend.submit(query))
+        return response_to_dict(self.backend.submit(query))
+
+    def page(self, path: str) -> str:
+        """The HTML dialect, when enabled (result pages submit to the backend)."""
+        if self.site is None:
+            raise PageNotFoundError(path)
+        if self._submit_lock is not None:
+            with self._submit_lock:
+                return self.site.get(path)
+        return self.site.get(path)
+
+    def count_request(self, status: int) -> None:
+        """Request accounting (handler threads report here)."""
+        with self._lock:
+            self.requests_served += 1
+            if status >= 400:
+                self.fault_responses += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HiddenDatabaseHTTPServer(url={self.url!r})"

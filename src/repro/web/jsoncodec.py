@@ -1,0 +1,125 @@
+"""JSON wire format for the remote HTTP access path.
+
+The in-process site speaks HTML because everything a *scraping* client
+learns, it learns from pages.  The remote API path
+(:mod:`repro.web.httpd` server, :class:`repro.backends.remote.RemoteBackend`
+client) instead ships the interface vocabulary itself — schemas and
+:class:`~repro.database.interface.InterfaceResponse` objects — as JSON over
+a real socket.  This module is the single definition of that wire format,
+imported by both ends so they cannot drift.
+
+Queries do not need a codec of their own: a conjunctive query travels as the
+URL query string of the ``/api/submit`` request, through the existing
+schema-aware :mod:`repro.web.urlcodec` — the same encoding a form submission
+uses, so the API server and the HTML server accept identical query strings.
+
+All selectable and displayed values in this repo are JSON scalars (str, int,
+float, bool), so values round-trip natively; the only typed work is
+rebuilding :class:`~repro.database.schema.Domain` objects (bucket edges vs
+value lists) and re-validating the query assignment against the schema.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.database.interface import InterfaceResponse, ReturnedTuple
+from repro.database.query import ConjunctiveQuery
+from repro.database.schema import Attribute, AttributeKind, Domain, NumericBucket, Schema
+from repro.exceptions import FormParseError
+
+#: Version tag of the wire format; bumped on incompatible changes so a
+#: mismatched client fails with a clear error instead of a parse error.
+WIRE_VERSION = 1
+
+
+# -- schema -----------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema, k: int) -> dict:
+    """The schema (plus the interface's top-``k``) as JSON-serialisable dicts."""
+    attributes = []
+    for attribute in schema:
+        entry: dict = {"name": attribute.name, "kind": attribute.kind.value}
+        if attribute.description:
+            entry["description"] = attribute.description
+        if attribute.kind is AttributeKind.NUMERIC:
+            entry["buckets"] = [[b.low, b.high] for b in attribute.domain.buckets]
+        else:
+            entry["values"] = list(attribute.domain.values)
+        attributes.append(entry)
+    return {
+        "version": WIRE_VERSION,
+        "name": schema.name,
+        "k": k,
+        "attributes": attributes,
+    }
+
+
+def schema_from_dict(payload: Mapping) -> tuple[Schema, int]:
+    """Rebuild ``(schema, k)`` from :func:`schema_to_dict` output."""
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise FormParseError(
+            f"remote backend speaks wire version {version!r}, this client speaks {WIRE_VERSION}"
+        )
+    attributes = []
+    for entry in payload["attributes"]:
+        kind = AttributeKind(entry["kind"])
+        if kind is AttributeKind.NUMERIC:
+            buckets = [NumericBucket(float(low), float(high)) for low, high in entry["buckets"]]
+            domain = Domain(kind, buckets=buckets)
+        elif kind is AttributeKind.BOOLEAN:
+            domain = Domain.boolean()
+        else:
+            domain = Domain.categorical(tuple(entry["values"]))
+        attributes.append(Attribute(entry["name"], domain, description=entry.get("description", "")))
+    return Schema(attributes, name=payload["name"]), int(payload["k"])
+
+
+# -- responses --------------------------------------------------------------------
+
+
+def response_to_dict(response: InterfaceResponse) -> dict:
+    """One interface response as JSON-serialisable dicts."""
+    return {
+        "version": WIRE_VERSION,
+        "query": response.query.assignment(),
+        "tuples": [
+            {
+                "tuple_id": t.tuple_id,
+                "values": dict(t.values),
+                "selectable_values": dict(t.selectable_values),
+            }
+            for t in response.tuples
+        ],
+        "overflow": response.overflow,
+        "reported_count": response.reported_count,
+        "k": response.k,
+    }
+
+
+def response_from_dict(schema: Schema, payload: Mapping) -> InterfaceResponse:
+    """Rebuild an :class:`InterfaceResponse` from :func:`response_to_dict` output."""
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise FormParseError(
+            f"remote backend speaks wire version {version!r}, this client speaks {WIRE_VERSION}"
+        )
+    query = ConjunctiveQuery.from_assignment(schema, payload["query"])
+    tuples = tuple(
+        ReturnedTuple(
+            tuple_id=int(entry["tuple_id"]),
+            values=dict(entry["values"]),
+            selectable_values=dict(entry["selectable_values"]),
+        )
+        for entry in payload["tuples"]
+    )
+    reported = payload["reported_count"]
+    return InterfaceResponse(
+        query=query,
+        tuples=tuples,
+        overflow=bool(payload["overflow"]),
+        reported_count=int(reported) if reported is not None else None,
+        k=int(payload["k"]),
+    )

@@ -139,6 +139,21 @@ class TestCountModeLayer:
         query = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "price": "0-10000"})
         assert layer.submit(query).reported_count == 0
 
+    def test_noisy_never_rounds_a_nonempty_count_to_zero(self, tiny_table, tiny_schema):
+        # Regression: with large relative noise a true count of 1 used to
+        # round to 0, so count-leveraging samplers treated a live subtree as
+        # provably empty and pruned it.  Now a non-empty result always
+        # reports >= 1 under every seed.
+        query = ConjunctiveQuery.from_assignment(
+            tiny_schema, {"make": "Ford", "price": "20000-40000"})  # exactly one match
+        for seed in range(50):
+            layer = CountModeLayer(
+                QueryEngineBackend(tiny_table, k=2, ranking=StaticScoreRanking()),
+                mode=CountMode.NOISY, noise=0.99, seed=seed,
+            )
+            reported = layer.submit(query).reported_count
+            assert reported >= 1, f"seed {seed} reported {reported} for a non-empty result"
+
     def test_needs_an_exact_count_beneath_it(self, raw, any_query):
         hidden = CountModeLayer(raw, mode=CountMode.NONE)
         shaped = CountModeLayer(hidden, mode=CountMode.EXACT)
@@ -188,6 +203,93 @@ class TestUnreliableLayer:
             UnreliableLayer(raw, rate_limit_every=0)
         with pytest.raises(InterfaceError):
             UnreliableLayer(raw, max_retries=-1)
+        with pytest.raises(InterfaceError):
+            UnreliableLayer(raw, retry_backoff=-0.1)
+        with pytest.raises(InterfaceError):
+            UnreliableLayer(raw, latency=-1.0)
+
+
+class _FlakyBackend:
+    """A backend that raises real transient faults before finally answering."""
+
+    def __init__(self, inner, failures_per_query=2, error=TransientBackendError):
+        self.inner = inner
+        self.failures_per_query = failures_per_query
+        self._error = error
+        self._failures_left = failures_per_query
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    @property
+    def k(self):
+        return self.inner.k
+
+    def submit(self, query):
+        if self._failures_left > 0:
+            self._failures_left -= 1
+            raise self._error()
+        self._failures_left = self.failures_per_query
+        return self.inner.submit(query)
+
+
+class TestUnreliableLayerRetriesRealFaults:
+    """Regression: only *injected* faults used to be retried — a transient
+    error raised by the inner backend (now reachable via RemoteBackend)
+    propagated immediately, defeating the whole retry layer."""
+
+    def test_inner_transient_faults_are_retried_and_counted(self, raw, any_query):
+        layer = UnreliableLayer(_FlakyBackend(raw, failures_per_query=2), max_retries=3)
+        for _ in range(4):
+            assert layer.submit(any_query).valid
+        stats = layer.statistics
+        assert stats.backend_transient_failures == 8   # 2 per successful submission
+        assert stats.retries == 8
+        assert stats.gave_up == 0
+        assert stats.transient_failures == 0           # nothing was injected
+
+    def test_inner_rate_limits_are_retried_and_counted_separately(self, raw, any_query):
+        flaky = _FlakyBackend(raw, failures_per_query=1, error=RateLimitedError)
+        layer = UnreliableLayer(flaky, max_retries=2)
+        assert layer.submit(any_query).valid
+        assert layer.statistics.backend_rate_limited == 1
+        assert layer.statistics.backend_transient_failures == 0
+        assert layer.statistics.rate_limited == 0      # nothing was injected
+
+    def test_exhausted_retries_surface_the_real_fault(self, raw, any_query):
+        layer = UnreliableLayer(_FlakyBackend(raw, failures_per_query=99), max_retries=2)
+        with pytest.raises(TransientBackendError):
+            layer.submit(any_query)
+        assert layer.statistics.gave_up == 1
+        assert layer.statistics.backend_transient_failures == 3  # initial try + 2 retries
+
+    def test_with_zero_retries_the_real_fault_propagates(self, raw, any_query):
+        layer = UnreliableLayer(_FlakyBackend(raw, failures_per_query=1), max_retries=0)
+        with pytest.raises(TransientBackendError):
+            layer.submit(any_query)
+
+    def test_non_transient_errors_are_never_retried(self, tiny_table, tiny_schema, any_query):
+        from repro.backends import BudgetLayer
+
+        raw = QueryEngineBackend(tiny_table, k=2, ranking=StaticScoreRanking())
+        exhausted = BudgetLayer(raw, budget=QueryBudget(limit=0))
+        layer = UnreliableLayer(exhausted, max_retries=5)
+        with pytest.raises(QueryBudgetExceededError):
+            layer.submit(any_query)
+        assert layer.statistics.attempts == 1          # no retry of a permanent error
+
+    def test_mixed_injected_and_real_faults_heal_together(self, raw, any_query):
+        layer = UnreliableLayer(
+            _FlakyBackend(raw, failures_per_query=1),
+            rate_limit_every=3, max_retries=4,
+        )
+        for _ in range(5):
+            assert layer.submit(any_query).valid
+        stats = layer.statistics
+        assert stats.backend_transient_failures > 0
+        assert stats.rate_limited > 0
+        assert stats.gave_up == 0
 
 
 class TestHistoryOnTheWebPath:

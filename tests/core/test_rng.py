@@ -1,0 +1,84 @@
+"""Unit tests for the deterministic RNG helpers in :mod:`repro._rng`."""
+
+import random
+
+import pytest
+
+from repro._rng import resolve_rng, stable_hash, weighted_choice, zipf_weights
+
+
+class TestWeightedChoice:
+    def test_draws_proportionally(self):
+        rng = random.Random(0)
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        assert 0.70 < counts["a"] / 4000 < 0.80
+
+    def test_zero_weight_item_is_never_drawn(self):
+        rng = random.Random(1)
+        drawn = {weighted_choice(rng, ["a", "b", "c"], [1.0, 0.0, 1.0]) for _ in range(500)}
+        assert "b" not in drawn
+
+    def test_negative_weight_always_raises(self):
+        # Regression: a negative weight used to be detected only if the scan
+        # reached it before crossing the selection threshold, so draws landing
+        # on an earlier item silently accepted a corrupt weight vector.  The
+        # rigged rng below forces the threshold onto the FIRST item, which the
+        # old code accepted without ever seeing the bad weight.
+        class FirstItemRng(random.Random):
+            def random(self):
+                return 0.0
+
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_choice(FirstItemRng(), ["a", "b", "c"], [5.0, -1.0, 1.0])
+
+    def test_negative_weight_raises_for_every_seed(self):
+        for seed in range(25):
+            with pytest.raises(ValueError, match="non-negative"):
+                weighted_choice(random.Random(seed), ["a", "b"], [10.0, -0.5])
+
+    def test_empty_and_mismatched_inputs_raise(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+
+
+class TestResolveRng:
+    def test_int_seeds_fresh_generator(self):
+        assert resolve_rng(5).random() == resolve_rng(5).random()
+
+    def test_existing_generator_is_shared_not_forked(self):
+        rng = random.Random(3)
+        assert resolve_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+
+
+class TestStableHash:
+    def test_is_process_independent_and_64_bit(self):
+        value = stable_hash("ranking-seed")
+        assert value == stable_hash("ranking-seed")
+        assert 0 <= value < 2**64
+        assert stable_hash("a") != stable_hash("b")
+
+
+class TestZipfWeights:
+    def test_zero_skew_is_uniform(self):
+        assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_weights_decay_with_rank(self):
+        weights = zipf_weights(5, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, -0.1)
