@@ -17,9 +17,16 @@ Three sections:
   CPU-bound shards, no latency.  Honest numbers: the interpreter lock
   serialises pure-Python ranking, so threads buy ~nothing here; this section
   documents that parallel dispatch is a *latency* optimisation, not a CPU one.
-* **remote_http** (informational) — a live ``repro.web.httpd`` endpoint on a
-  loopback socket behind ``remote_stack``: single-client round-trip rate, and
-  a ``DispatchLayer`` batch fan-out rate over the same endpoint.
+* **remote_http** (guarded) — live ``repro.web.httpd`` endpoints on loopback
+  sockets.  Two guarded sub-sections exercise the transport optimisations on
+  the configs they exist for: **pooled vs unpooled** on a connect-dominated
+  config (cheap queries, so the per-request TCP connect is the cost — pooled
+  keep-alive must be **≥ 1.3×** the one-connect-per-request baseline), and
+  **batched vs single** on a latency-bound config (each server-side
+  submission pays a simulated database hop, the shard sections' trick —
+  ``POST /api/submit_batch`` fan-out must be **≥ 1.5×** single-query
+  round-trips).  The merged responses are asserted byte-identical first,
+  as always.
 
 Usage (mirrors the other benchmark scripts)::
 
@@ -42,8 +49,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backends import (
+    BackendStack,
     ConcurrentShardRouter,
-    DispatchLayer,
     ShardRouter,
     TableShardBackend,
     UnreliableLayer,
@@ -64,6 +71,23 @@ SHARD_LATENCY = 0.004
 #: Acceptance floor: the parallel router must at least halve the wall clock
 #: of latency-bound 4-shard dispatch (the theoretical ceiling is ~4x).
 MIN_PARALLEL_SPEEDUP = 2.0
+
+#: Rows of the remote-section catalogue: small on purpose, so per-request
+#: transport overhead (the thing under test) dominates per-query engine work.
+REMOTE_ROWS = 500
+#: Simulated per-submission hop of the latency-bound remote config, seconds —
+#: the web server's own backend paying a LAN database round-trip.
+REMOTE_BACKEND_LATENCY = 0.002
+#: Wire-batch shape of the batched remote config.
+BATCH_SIZE = 25
+BATCH_WORKERS = 4
+
+#: Acceptance floors for the remote transport (ISSUE 5): keep-alive pooling
+#: must beat one-connect-per-request by ≥ 1.3x on the connect-dominated
+#: config, and the batch endpoint must beat single-query round-trips by
+#: ≥ 1.5x on the latency-bound config.
+MIN_POOL_SPEEDUP = 1.3
+MIN_BATCH_SPEEDUP = 1.5
 
 
 def _random_queries(schema, rng: random.Random, count: int, min_preds: int = 1, max_preds: int = 3):
@@ -134,23 +158,69 @@ def bench_inprocess_shards(table, queries) -> dict:
     }
 
 
-def bench_remote_http(table, queries) -> dict:
-    """A live loopback endpoint: single-client rate and batched fan-out rate."""
-    served = engine_stack(table, K, statistics=False)
+def bench_remote_pooling(remote_table, queries) -> dict:
+    """Connect-dominated config: keep-alive pooling vs one connect per request.
+
+    The served catalogue is deliberately small so the per-request TCP connect
+    (plus the handler thread it spawns server-side) is the dominant cost —
+    exactly what a pooled persistent connection amortises away.
+    """
+    from repro.backends import RemoteBackend
+
+    served = engine_stack(remote_table, K, statistics=False)
     with HiddenDatabaseHTTPServer(served) as server:
-        stack = remote_stack(server.url)
-        single_time = _time(stack.submit, queries)
-        fanout = DispatchLayer(stack.top, max_workers=N_SHARDS)
-        batch_time = time.perf_counter()
-        fanout.submit_many(queries)
-        batch_time = time.perf_counter() - batch_time
-        fanout.close()
-        retry_stats = stack.layer(UnreliableLayer).statistics.as_dict()
+        pooled = RemoteBackend(server.url)
+        unpooled = RemoteBackend(server.url, pool_size=0)
+        # Byte-identical first, fast second.
+        for query in queries[: min(20, len(queries))]:
+            assert pooled.submit(query) == unpooled.submit(query), str(query)
+        unpooled_time = _time(unpooled.submit, queries)
+        pooled_time = _time(pooled.submit, queries)
+        pool_stats = pooled.pool_statistics
+        pooled.close()
+    speedup = unpooled_time / pooled_time if pooled_time > 0 else float("inf")
     return {
         "queries": len(queries),
+        "rows": REMOTE_ROWS,
+        "unpooled_ops_per_sec": round(len(queries) / unpooled_time, 1),
+        "pooled_ops_per_sec": round(len(queries) / pooled_time, 1),
+        "pooled_speedup": round(speedup, 2),
+        "pool_statistics": pool_stats,
+    }
+
+
+def bench_remote_batching(remote_table, queries) -> dict:
+    """Latency-bound config: one POST per 25 queries vs one GET per query.
+
+    The endpoint's own backend pays a simulated per-submission database hop
+    (the same trick the shard section uses), so single-query round-trips are
+    latency-bound; the batch endpoint amortises the hop over the server's
+    concurrent item fan-out and the HTTP overhead over the whole chunk.
+    """
+    raw = engine_stack(remote_table, K, statistics=False).top
+    served = BackendStack(
+        raw, [lambda inner: UnreliableLayer(inner, latency=REMOTE_BACKEND_LATENCY)]
+    )
+    with HiddenDatabaseHTTPServer(served, batch_workers=8) as server:
+        single = remote_stack(server.url)
+        batched = remote_stack(server.url, parallel=BATCH_WORKERS, batch=BATCH_SIZE)
+        probe = queries[: min(20, len(queries))]
+        assert batched.submit_many(probe) == [single.submit(q) for q in probe]
+        single_time = _time(single.submit, queries)
+        batch_time = time.perf_counter()
+        batched.submit_many(queries)
+        batch_time = time.perf_counter() - batch_time
+        retry_stats = batched.layer(UnreliableLayer).statistics.as_dict()
+    speedup = single_time / batch_time if batch_time > 0 else float("inf")
+    return {
+        "queries": len(queries),
+        "rows": REMOTE_ROWS,
+        "backend_latency_ms": REMOTE_BACKEND_LATENCY * 1000,
+        "batch_size": BATCH_SIZE,
+        "batch_workers": BATCH_WORKERS,
         "single_ops_per_sec": round(len(queries) / single_time, 1),
         "batched_ops_per_sec": round(len(queries) / batch_time, 1),
-        "batch_workers": N_SHARDS,
+        "batched_speedup": round(speedup, 2),
         "retry_statistics": retry_stats,
     }
 
@@ -158,18 +228,24 @@ def bench_remote_http(table, queries) -> dict:
 def run(n_rows: int, n_latency_queries: int, n_cpu_queries: int, n_http_queries: int) -> dict:
     rng = random.Random(SEED)
     table = generate_vehicles_table(VehiclesConfig(n_rows=n_rows, seed=SEED))
+    remote_table = generate_vehicles_table(VehiclesConfig(n_rows=REMOTE_ROWS, seed=SEED))
     latency_queries = _random_queries(table.schema, rng, n_latency_queries)
     cpu_queries = _random_queries(table.schema, rng, n_cpu_queries)
-    http_queries = _random_queries(table.schema, rng, n_http_queries)
+    http_queries = _random_queries(remote_table.schema, rng, n_http_queries)
     shards = bench_parallel_shards(table, latency_queries)
     inprocess = bench_inprocess_shards(table, cpu_queries)
-    remote = bench_remote_http(table, http_queries)
+    pooling = bench_remote_pooling(remote_table, http_queries)
+    batching = bench_remote_batching(remote_table, http_queries)
     print(
         f"rows={n_rows}  latency-bound {N_SHARDS}-shard dispatch: "
         f"{shards['parallel_ops_per_sec']:>7.1f} vs {shards['serial_ops_per_sec']:>7.1f} q/s "
-        f"({shards['speedup']:.2f}x)   in-process: {inprocess['speedup']:.2f}x   "
-        f"remote http: {remote['single_ops_per_sec']:.1f} q/s single, "
-        f"{remote['batched_ops_per_sec']:.1f} q/s batched"
+        f"({shards['speedup']:.2f}x)   in-process: {inprocess['speedup']:.2f}x"
+    )
+    print(
+        f"remote http: pooled {pooling['pooled_ops_per_sec']:.1f} vs unpooled "
+        f"{pooling['unpooled_ops_per_sec']:.1f} q/s ({pooling['pooled_speedup']:.2f}x)   "
+        f"batched {batching['batched_ops_per_sec']:.1f} vs single "
+        f"{batching['single_ops_per_sec']:.1f} q/s ({batching['batched_speedup']:.2f}x)"
     )
     return {
         "k": K,
@@ -177,7 +253,10 @@ def run(n_rows: int, n_latency_queries: int, n_cpu_queries: int, n_http_queries:
         "rows": n_rows,
         "parallel_shards": shards,
         "inprocess_shards": inprocess,
-        "remote_http": remote,
+        "remote_http": {
+            "pooling": pooling,
+            "batching": batching,
+        },
     }
 
 
@@ -202,16 +281,32 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
 
     if args.check:
+        failures = []
         speedup = report["parallel_shards"]["speedup"]
         if speedup < MIN_PARALLEL_SPEEDUP:
-            print(
-                f"FAIL: parallel {N_SHARDS}-shard dispatch speedup {speedup:.2f}x "
+            failures.append(
+                f"parallel {N_SHARDS}-shard dispatch speedup {speedup:.2f}x "
                 f"< {MIN_PARALLEL_SPEEDUP:.0f}x floor"
             )
+        pooled = report["remote_http"]["pooling"]["pooled_speedup"]
+        if pooled < MIN_POOL_SPEEDUP:
+            failures.append(
+                f"pooled remote speedup {pooled:.2f}x < {MIN_POOL_SPEEDUP:.1f}x floor"
+            )
+        batched = report["remote_http"]["batching"]["batched_speedup"]
+        if batched < MIN_BATCH_SPEEDUP:
+            failures.append(
+                f"batched remote speedup {batched:.2f}x < {MIN_BATCH_SPEEDUP:.1f}x floor"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
             return 1
         print(
-            f"check passed: parallel {N_SHARDS}-shard dispatch "
-            f"{speedup:.2f}x >= {MIN_PARALLEL_SPEEDUP:.0f}x floor"
+            f"check passed: parallel dispatch {speedup:.2f}x >= "
+            f"{MIN_PARALLEL_SPEEDUP:.0f}x, pooled remote {pooled:.2f}x >= "
+            f"{MIN_POOL_SPEEDUP:.1f}x, batched remote {batched:.2f}x >= "
+            f"{MIN_BATCH_SPEEDUP:.1f}x"
         )
     return 0
 

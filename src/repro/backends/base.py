@@ -23,11 +23,54 @@ rest of the system builds on.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.database.interface import InterfaceResponse
 from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Schema
+
+
+def forward_many(
+    backend: object, queries: Sequence[ConjunctiveQuery]
+) -> list[InterfaceResponse]:
+    """Submit a batch through ``backend``, using its batch path when it has one.
+
+    The optional batch half of the backend protocol: a backend *may* expose
+    ``submit_many(queries) -> list[InterfaceResponse]`` (responses in input
+    order, first input-order failure raised).  Layers forward batches through
+    this helper so a wire-level batch endpoint at the bottom of a stack is
+    reached however many layers sit above it; backends without a batch path
+    degrade to a serial loop with identical semantics.
+    """
+    submit_many = getattr(backend, "submit_many", None)
+    if callable(submit_many):
+        return list(submit_many(queries))
+    return [backend.submit(query) for query in queries]
+
+
+def forward_outcomes(
+    backend: object, queries: Sequence[ConjunctiveQuery]
+) -> list["InterfaceResponse | Exception"]:
+    """Submit a batch through ``backend``, reporting **per-item** outcomes.
+
+    The richer optional batch half of the protocol: a backend may expose
+    ``submit_outcomes(queries) -> list[InterfaceResponse | Exception]``
+    (:class:`~repro.backends.remote.RemoteBackend` does natively, the concern
+    layers forward it), in which case one failed item costs neither its
+    siblings' answers nor — for the caching layer above — the round-trips
+    already paid for them.  Backends without it degrade to a serial loop
+    that captures each item's exception in place.
+    """
+    submit_outcomes = getattr(backend, "submit_outcomes", None)
+    if callable(submit_outcomes):
+        return list(submit_outcomes(queries))
+    outcomes: list[InterfaceResponse | Exception] = []
+    for query in queries:
+        try:
+            outcomes.append(backend.submit(query))
+        except Exception as error:  # noqa: BLE001 - per-item outcome
+            outcomes.append(error)
+    return outcomes
 
 
 @runtime_checkable
@@ -77,6 +120,14 @@ class BackendLayer:
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         """Forward ``query`` unchanged; subclasses add their one concern."""
         return self.inner.submit(query)
+
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Forward a batch, reaching the inner backend's batch path when it
+        has one.  Subclasses whose concern is per-submission (budget,
+        statistics, count shaping, history, retries) override this so a batch
+        is accounted exactly like the equivalent sequence of single submits.
+        """
+        return forward_many(self.inner, queries)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.inner!r})"

@@ -17,13 +17,15 @@ byte of any answer:
 
 * :class:`DispatchLayer` — a middleware layer adding
   :meth:`~DispatchLayer.submit_many`: a *batch* of independent submissions
-  issued concurrently through the wrapped backend, results returned in input
-  order.  Single ``submit`` calls pass straight through.  Everything beneath
-  the layer must be thread-safe — see ``docs/architecture.md`` for which
-  layers are (:class:`~repro.backends.layers.StatisticsLayer` and
-  :class:`~repro.backends.layers.BudgetLayer` lock their counters;
-  :class:`~repro.backends.history.HistoryLayer` is single-threaded and must
-  stay *above* a dispatch layer).
+  issued concurrently through the wrapped backend — per query, or per
+  ``batch_size`` chunk when a wire-level batch path sits beneath — results
+  returned in input order.  Single ``submit`` calls pass straight through.
+  Everything beneath the layer must be thread-safe — see
+  ``docs/architecture.md``: :class:`~repro.backends.layers.StatisticsLayer`
+  and :class:`~repro.backends.layers.BudgetLayer` lock their counters, and
+  :class:`~repro.backends.history.HistoryLayer` is lock-striped, so history
+  legally sits *under* a dispatch layer and deduplicates concurrent
+  submissions of the same canonical query.
 
 Neither class changes what is computed, only when: threads buy nothing for
 CPU-bound in-process shards (the interpreter lock serialises them) and
@@ -158,15 +160,31 @@ class DispatchLayer(BackendLayer):
     in input order; if any submission raises, the first (by input order)
     exception propagates, mirroring what a serial loop would have raised.
 
+    ``batch_size`` chains this layer to a wire-level batch path beneath it:
+    instead of one ``inner.submit`` per query, the batch is cut into chunks
+    of at most ``batch_size`` queries and each chunk travels as **one**
+    ``inner.submit_many`` call — over a :func:`~repro.backends.stack.remote_stack`
+    that is one ``POST /api/submit_batch`` round-trip per chunk, and the
+    chunks themselves overlap on the worker pool.  ``batch_size=None`` (the
+    default) keeps the per-query fan-out.
+
     The layer composes like any other, but it is the *outermost* layer of
-    the stacks that carry it (``web_stack(parallel=N)``): the layers beneath
-    see exactly the same calls they would see from ``N`` independent
-    clients, which is why their counters lock (see
-    :class:`~repro.backends.layers.StatisticsLayer`).
+    the stacks that carry it (``web_stack(parallel=N)``, ``remote_stack(...,
+    parallel=N, batch=M)``): the layers beneath see exactly the same calls
+    they would see from ``N`` independent clients, which is why their
+    counters lock (see :class:`~repro.backends.layers.StatisticsLayer`).
     """
 
-    def __init__(self, inner: RawBackend, max_workers: int = 4) -> None:
+    def __init__(
+        self,
+        inner: RawBackend,
+        max_workers: int = 4,
+        batch_size: int | None = None,
+    ) -> None:
         super().__init__(inner)
+        if batch_size is not None and batch_size < 1:
+            raise InterfaceError("batch_size must be positive when given")
+        self.batch_size = batch_size
         self._pool = _LazyPool(max_workers, thread_name_prefix="backend-dispatch")
 
     @property
@@ -177,9 +195,27 @@ class DispatchLayer(BackendLayer):
     def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
         """Submit every query concurrently; responses come back in input order."""
         queries = list(queries)
+        if self.batch_size is not None:
+            return self._submit_chunked(queries)
         if len(queries) <= 1:
             return [self.inner.submit(query) for query in queries]
         return list(self._pool.get().map(self.inner.submit, queries))
+
+    def _submit_chunked(self, queries: list[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Cut the batch into wire-sized chunks and overlap them on the pool."""
+        from repro.backends.base import forward_many
+
+        size = self.batch_size
+        assert size is not None
+        chunks = [queries[start : start + size] for start in range(0, len(queries), size)]
+        if len(chunks) <= 1:
+            return forward_many(self.inner, queries)
+        merged: list[InterfaceResponse] = []
+        for responses in self._pool.get().map(
+            lambda chunk: forward_many(self.inner, chunk), chunks
+        ):
+            merged.extend(responses)
+        return merged
 
     def close(self) -> None:
         """Release the worker threads (the layer stays usable)."""

@@ -25,9 +25,10 @@ import dataclasses
 import random
 import threading
 import time
+from typing import Sequence
 
 from repro._rng import resolve_rng
-from repro.backends.base import BackendLayer, RawBackend
+from repro.backends.base import BackendLayer, RawBackend, forward_many, forward_outcomes
 from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
 from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
@@ -55,6 +56,27 @@ class BudgetLayer(BackendLayer):
             self.budget.charge(1)
         return self.inner.submit(query)
 
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Charge the whole batch up front, atomically — all or nothing.
+
+        A batch the budget cannot afford raises before a single query is
+        issued, exactly as a site that stops answering does; it never
+        half-spends a nearly-exhausted budget on a partial batch.
+        """
+        queries = list(queries)
+        with self._lock:
+            self.budget.charge(len(queries))
+        return forward_many(self.inner, queries)
+
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list[InterfaceResponse | Exception]:
+        """Per-item outcomes, the batch charged up front like :meth:`submit_many`."""
+        queries = list(queries)
+        with self._lock:
+            self.budget.charge(len(queries))
+        return forward_outcomes(self.inner, queries)
+
 
 class StatisticsLayer(BackendLayer):
     """Counts every answered query in one :class:`InterfaceStatistics`.
@@ -81,6 +103,30 @@ class StatisticsLayer(BackendLayer):
         with self._lock:
             self.statistics.record(response)
         return response
+
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Forward the batch, then record every *answered* response.
+
+        Mirrors the single-submit contract: a batch that raises below this
+        layer counts nothing — only answers the client actually received are
+        recorded.
+        """
+        responses = forward_many(self.inner, queries)
+        with self._lock:
+            for response in responses:
+                self.statistics.record(response)
+        return responses
+
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list[InterfaceResponse | Exception]:
+        """Per-item outcomes; only *answered* items are recorded, as ever."""
+        outcomes = forward_outcomes(self.inner, queries)
+        with self._lock:
+            for outcome in outcomes:
+                if not isinstance(outcome, Exception):
+                    self.statistics.record(outcome)
+        return outcomes
 
     def reset(self) -> None:
         """Clear the counters (a fresh experiment over a warm backend)."""
@@ -113,6 +159,24 @@ class CountModeLayer(BackendLayer):
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         response = self.inner.submit(query)
         return dataclasses.replace(response, reported_count=self._shape(response.reported_count))
+
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Forward the batch and shape every reported count."""
+        return [
+            dataclasses.replace(response, reported_count=self._shape(response.reported_count))
+            for response in forward_many(self.inner, queries)
+        ]
+
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list[InterfaceResponse | Exception]:
+        """Per-item outcomes, the answered ones count-shaped."""
+        return [
+            outcome
+            if isinstance(outcome, Exception)
+            else dataclasses.replace(outcome, reported_count=self._shape(outcome.reported_count))
+            for outcome in forward_outcomes(self.inner, queries)
+        ]
 
     def _shape(self, true_count: int | None) -> int | None:
         if self.mode is CountMode.NONE:
@@ -243,6 +307,98 @@ class UnreliableLayer(BackendLayer):
             self.statistics.gave_up += 1
         assert last_error is not None
         raise last_error
+
+    def submit_many(self, queries: Sequence[ConjunctiveQuery]) -> list[InterfaceResponse]:
+        """Forward a batch with **per-item** retries; first input-order error raised.
+
+        This is where the batch endpoint's per-item statuses pay off: one
+        rate-limited item does not fail (or re-issue!) its siblings — only
+        the items that actually faulted, injected or real, are re-sent on the
+        next attempt, as one smaller batch.  Once retries are exhausted, or an
+        item failed permanently (e.g. an exhausted budget), the first
+        input-order error is raised — exactly what the equivalent serial loop
+        would have surfaced.  Callers that want the surviving answers despite
+        a failed sibling use :meth:`submit_outcomes` (the history layer does,
+        so paid-for answers are cached even when the batch as a whole fails).
+        """
+        outcomes = self.submit_outcomes(queries)
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+        return outcomes  # type: ignore[return-value] - no exceptions left
+
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list[InterfaceResponse | Exception]:
+        """The retry loop of :meth:`submit_many`, reporting per-item outcomes."""
+        queries = list(queries)
+        if not queries:
+            return []
+        results: list[InterfaceResponse | Exception | None] = [None] * len(queries)
+        retryable = list(range(len(queries)))
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                with self._lock:
+                    self.statistics.retries += len(retryable)
+                if self.retry_backoff > 0.0:
+                    time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+            if self.latency > 0.0:
+                time.sleep(self.latency)  # one batch = one simulated round-trip
+            issue: list[int] = []
+            injected: list[int] = []
+            for index in retryable:
+                with self._lock:
+                    self.statistics.attempts += 1
+                    fault = self._inject_fault()
+                if fault is None:
+                    issue.append(index)
+                else:
+                    results[index] = fault
+                    injected.append(index)
+            outcomes = self._forward_batch([queries[index] for index in issue])
+            still_retryable = list(injected)
+            for index, outcome in zip(issue, outcomes):
+                results[index] = outcome
+                if isinstance(outcome, RateLimitedError):
+                    with self._lock:
+                        self.statistics.backend_rate_limited += 1
+                    still_retryable.append(index)
+                elif isinstance(outcome, TransientBackendError):
+                    with self._lock:
+                        self.statistics.backend_transient_failures += 1
+                    still_retryable.append(index)
+                # Any other exception is permanent: reported as-is, never
+                # retried — mirroring the single-submit path.
+            retryable = sorted(still_retryable)
+            if not retryable:
+                break
+        if retryable:
+            with self._lock:
+                self.statistics.gave_up += len(retryable)
+        return results  # type: ignore[return-value] - every slot is filled
+
+    def _forward_batch(
+        self, queries: list[ConjunctiveQuery]
+    ) -> list[InterfaceResponse | Exception]:
+        """Per-item outcomes from the inner backend, batched when it can.
+
+        A backend with a wire batch (``RemoteBackend``) reports per-item
+        outcomes natively via ``submit_outcomes``; anything else degrades to a
+        serial loop that captures each item's exception instead of raising —
+        the shape the retry loop needs either way.  A transient fault that
+        takes down the *whole* batched round-trip (connection dropped, proxy
+        503 on the POST itself) is spread onto every item, so the retry loop
+        heals it exactly like per-item faults instead of letting it escape
+        unretried.
+        """
+        if not queries:
+            return []
+        try:
+            return forward_outcomes(self.inner, queries)
+        except RateLimitedError as error:
+            return [error] * len(queries)
+        except TransientBackendError as error:
+            return [error] * len(queries)
 
     def _inject_fault(self) -> Exception | None:
         if self.rate_limit_every is not None:

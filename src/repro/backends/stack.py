@@ -257,9 +257,10 @@ def web_stack(
 
     ``parallel=N`` puts a :class:`~repro.backends.dispatch.DispatchLayer` on
     top, so ``stack.submit_many(queries)`` fetches up to ``N`` pages
-    concurrently.  It cannot be combined with ``history=True``: the history
-    layer is deliberately single-threaded (see ``docs/architecture.md``) and
-    must stay the outermost layer when present.
+    concurrently.  It composes with ``history=True``: the lock-striped
+    history layer sits under the dispatch layer, deduplicates concurrent
+    fetches of the same page (per-key in-flight guard) and answers repeats
+    without any fetch at all.
     """
     raw = WebPageBackend(site, schema, display_columns=display_columns)
     return _compose(
@@ -335,16 +336,34 @@ def remote_stack(
     max_retries: int = 3,
     retry_backoff: float = 0.05,
     timeout: float = 10.0,
+    parallel: int | None = None,
+    batch: int | None = None,
+    pool_size: int | None = None,
 ) -> BackendStack:
     """A remote HTTP endpoint behind the same layer stack as the local paths.
 
     The raw backend is a :class:`~repro.backends.remote.RemoteBackend`
-    speaking JSON-over-HTTP to a :mod:`repro.web.httpd` endpoint; directly
-    above it sits a pure-retry :class:`~repro.backends.layers.UnreliableLayer`
-    (no injection) so real 429s and 5xxs self-heal with exponential backoff
-    — set ``max_retries=0`` to surface every network fault to the caller.
-    No count-mode layer: like the scraping path, whatever count the server
-    reports was already shaped server-side.
+    speaking JSON-over-HTTP to a :mod:`repro.web.httpd` endpoint over a
+    bounded pool of persistent keep-alive connections (``pool_size``; the
+    adapter's default when ``None``); the construction-time schema fetch
+    retries transient failures with the same ``max_retries``/``retry_backoff``
+    policy as submissions, so a server that is momentarily 503 does not kill
+    the stack.  Directly above the adapter sits a pure-retry
+    :class:`~repro.backends.layers.UnreliableLayer` (no injection) so real
+    429s and 5xxs self-heal with exponential backoff — set ``max_retries=0``
+    to surface every network fault to the caller.  No count-mode layer: like
+    the scraping path, whatever count the server reports was already shaped
+    server-side.
+
+    ``batch=M`` puts a :class:`~repro.backends.dispatch.DispatchLayer` on top
+    that cuts every ``stack.submit_many(queries)`` into chunks of ``M``
+    queries, each travelling as **one** ``POST /api/submit_batch`` round-trip
+    (per-item statuses; the retry layer re-issues only failed items);
+    ``parallel=N`` overlaps those chunks on ``N`` worker threads.  Both
+    compose with ``history=True``: the lock-striped
+    :class:`~repro.backends.history.HistoryLayer` legally sits under the
+    dispatch layer and strips every hit and inferable item out of the wire
+    batches.
 
     Retries sit *below* the budget and statistics layers: a submission that
     needed three attempts still charges one budgeted query and counts once —
@@ -353,7 +372,14 @@ def remote_stack(
     """
     from repro.backends.remote import RemoteBackend
 
-    raw = RemoteBackend(url, timeout=timeout)
+    remote_kwargs: dict = {
+        "timeout": timeout,
+        "connect_retries": max_retries,
+        "connect_backoff": retry_backoff,
+    }
+    if pool_size is not None:
+        remote_kwargs["pool_size"] = pool_size
+    raw = RemoteBackend(url, **remote_kwargs)
     retry: LayerFactory = lambda inner: UnreliableLayer(
         inner, max_retries=max_retries, retry_backoff=retry_backoff
     )
@@ -364,6 +390,8 @@ def remote_stack(
         history=history,
         max_history_entries=max_history_entries,
         statistics=statistics,
+        parallel=parallel,
+        batch=batch,
         inner_layers=(retry,),
     )
 
@@ -378,15 +406,13 @@ def _compose(
     max_history_entries: int | None = None,
     statistics: bool = True,
     parallel: int | None = None,
+    batch: int | None = None,
     inner_layers: Sequence[LayerFactory] = (),
 ) -> BackendStack:
     if parallel is not None and parallel < 1:
         raise ConfigurationError("parallel must be at least 1 when given")
-    if parallel is not None and parallel > 1 and history:
-        raise ConfigurationError(
-            "parallel dispatch cannot sit above a history layer — HistoryLayer is "
-            "single-threaded by design; drop history=True or parallel"
-        )
+    if batch is not None and batch < 1:
+        raise ConfigurationError("batch must be at least 1 when given")
     layers: list[LayerFactory] = list(inner_layers)
     if count_mode is not None:
         layers.append(
@@ -396,9 +422,16 @@ def _compose(
     if statistics:
         layers.append(StatisticsLayer)
     if history:
+        # The lock-striped HistoryLayer is thread-safe, so it legally sits
+        # *under* the dispatch layer: concurrent batch fan-out and the §3.2
+        # history optimisation compose (earlier revisions refused this).
         layers.append(lambda inner: HistoryLayer(inner, max_entries=max_history_entries))
-    if parallel is not None and parallel > 1:
+    if (parallel is not None and parallel > 1) or batch is not None:
         from repro.backends.dispatch import DispatchLayer
 
-        layers.append(lambda inner: DispatchLayer(inner, max_workers=parallel))
+        layers.append(
+            lambda inner: DispatchLayer(
+                inner, max_workers=parallel if parallel is not None else 1, batch_size=batch
+            )
+        )
     return BackendStack(raw, layers)

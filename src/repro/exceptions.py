@@ -58,6 +58,24 @@ class QueryBudgetExceededError(InterfaceError):
         super().__init__(f"query budget exhausted: issued {issued} of {budget} allowed queries")
 
 
+class BackendAuthError(InterfaceError):
+    """The remote endpoint rejected the client's credentials (HTTP 401/403).
+
+    Distinct from both :class:`TransientBackendError` (retrying will not
+    help — the credentials stay wrong) and :class:`FormParseError` (nothing
+    was malformed): an auth-ish status without a budget payload means the
+    operator must fix keys or ACLs, so retry layers pass it straight through
+    and callers can tell it apart from a genuinely bad request.
+    """
+
+    def __init__(self, status: int, message: str = "") -> None:
+        self.status = status
+        text = f"remote backend refused authorisation (HTTP {status})"
+        if message:
+            text += f": {message}"
+        super().__init__(text)
+
+
 class TransientBackendError(InterfaceError):
     """A (possibly injected) transient fault: the request may be retried.
 

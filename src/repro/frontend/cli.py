@@ -63,13 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="partition the simulated catalogue over N shard backends "
                              "behind one router (results are identical to --shards 1)")
     parser.add_argument("--parallel", type=int, default=None, metavar="N",
-                        help="scatter shard sub-queries over N worker threads "
-                             "(requires --shards > 1, incompatible with --remote; "
-                             "results are identical to serial)")
+                        help="overlap round-trips over N worker threads: shard "
+                             "sub-queries with --shards > 1, batch chunks with "
+                             "--remote (results are identical to serial)")
     parser.add_argument("--remote", default=None, metavar="URL",
                         help="sample a remote hidden database served by a "
                              "repro.web.httpd endpoint instead of simulating one locally "
                              "(--dataset/--rows/--shards are then ignored)")
+    parser.add_argument("--batch", type=int, default=None, metavar="M",
+                        help="with --remote: ship up to M queries per wire round-trip "
+                             "through POST /api/submit_batch (per-item statuses; "
+                             "combine with --parallel N to overlap chunks)")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--histogram", nargs="*", default=None,
                         help="attributes whose sampled histograms to print (default: first two)")
@@ -110,22 +114,30 @@ def _build_backend(args: argparse.Namespace) -> BackendStack:
     over M worker threads.  The layer stack above (count mode, budget,
     statistics) is identical either way, as are the sampled results.  With
     ``--remote URL`` nothing is simulated: the stack talks JSON-over-HTTP to
-    the named endpoint, retrying real 429s/5xxs.
+    the named endpoint over pooled keep-alive connections, retrying real
+    429s/5xxs; ``--batch M`` ships up to M queries per round-trip and
+    ``--parallel N`` overlaps those chunks.
     """
     if args.shards < 1:
         raise ReproError("--shards must be at least 1")
     if args.parallel is not None and args.parallel < 1:
         raise ReproError("--parallel must be at least 1")
-    if args.parallel is not None and args.remote is not None:
-        raise ReproError(
-            "--parallel applies to shard dispatch only; the remote path submits "
-            "serially (drop --parallel, or shard server-side)"
-        )
-    if args.parallel is not None and args.parallel > 1 and args.shards < 2:
-        raise ReproError("--parallel needs --shards > 1 to have work to overlap")
+    if args.batch is not None and args.batch < 1:
+        raise ReproError("--batch must be at least 1")
+    if args.batch is not None and args.remote is None:
+        raise ReproError("--batch configures the remote wire batch; it needs --remote URL")
+    if (
+        args.parallel is not None
+        and args.parallel > 1
+        and args.remote is None
+        and args.shards < 2
+    ):
+        raise ReproError("--parallel needs --shards > 1 or --remote to have work to overlap")
     budget = QueryBudget(limit=args.budget) if args.budget is not None else QueryBudget()
     if args.remote is not None:
-        return remote_stack(args.remote, budget=budget)
+        return remote_stack(
+            args.remote, budget=budget, parallel=args.parallel, batch=args.batch
+        )
     count_mode = (
         CountMode.EXACT
         if args.algorithm == SamplerAlgorithm.COUNT_AIDED.value
@@ -179,7 +191,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             histogram_attributes=histogram_attributes,
             printer=print if args.progress else None,
             print_every=10 if args.progress else 0,
-            backend=backend,
+            backend=service,  # the service report includes shared-history savings
         )
         print(config.describe())
         print(f"access path: {backend.describe()}")

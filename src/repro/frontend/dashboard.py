@@ -99,14 +99,20 @@ class Dashboard:
 
         Works with anything statistics-shaped: a
         :class:`~repro.backends.stack.BackendStack` (statistics + optional
-        budget and history layers), a classic interface, or nothing —
-        in which case a placeholder is returned.
+        budget and history layers), a classic interface, a
+        :class:`~repro.service.SamplingService` (whose per-backend report
+        additionally carries the cross-job shared-history savings), or
+        nothing — in which case a placeholder is returned.
         """
         if self.backend is None:
             return "no backend attached"
-        from repro.backends import introspect
+        backend_statistics = getattr(self.backend, "backend_statistics", None)
+        if callable(backend_statistics):
+            report = backend_statistics()
+        else:
+            from repro.backends import introspect
 
-        report = introspect(self.backend)
+            report = introspect(self.backend)
         parts = [str(report["access_path"])]
         statistics = report["statistics"]
         if statistics is not None:
@@ -121,6 +127,9 @@ class Dashboard:
         history = report["history"]
         if history is not None:
             parts.append(f"history saved {history['saved']} queries")
+        shared = report.get("shared_history")
+        if shared is not None:
+            parts.append(f"shared history saved {shared['saved']} queries across jobs")
         return "  |  ".join(parts)
 
     def render_recent_samples(self) -> str:

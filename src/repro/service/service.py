@@ -27,6 +27,7 @@ through exactly the same job API as a local one.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping
 
 from repro.core.config import HDSamplerConfig
@@ -60,12 +61,34 @@ def _resolve_backend(backend: HiddenDatabase | str) -> HiddenDatabase:
 
 
 class SamplingService:
-    """A long-lived sampling engine bound to one or several named backends."""
+    """A long-lived sampling engine bound to one or several named backends.
+
+    ``shared_history=True`` (the default) interposes **one** lock-striped
+    :class:`~repro.backends.history.HistoryLayer` per named backend between
+    the jobs and that backend, so every job accumulates every other job's
+    savings: a query one analyst already paid for is replayed (or inferred)
+    for the next analyst without touching the hidden database.  Per-job
+    accounting is untouched — each job still reports its own submissions —
+    while :meth:`backend_statistics` surfaces the shared layer's cross-job
+    savings.  A backend whose own stack already carries a history layer
+    (e.g. ``remote_stack(url, history=True)``) is *not* double-wrapped: that
+    layer is already shared by construction and is reported instead.
+
+    Jobs with ``use_history=True`` therefore cache at *two* levels, by
+    design: the per-job layer (inside :class:`SampleGenerator`) is the job's
+    own accounting and its checkpointable warm cache — snapshots export it,
+    ``extend()`` reuses it — while the backend-level shared layer is where
+    jobs profit from each other.  The duplication costs memory proportional
+    to one job's unique responses and an O(2^|q|) inference probe per
+    per-job miss; answers are identical with either layer alone.  Jobs that
+    *disable* history bypass both (see :meth:`submit`).
+    """
 
     def __init__(
         self,
         backends: HiddenDatabase | str | Mapping[str, HiddenDatabase | str],
         default_backend: str | None = None,
+        shared_history: bool = True,
     ) -> None:
         if isinstance(backends, Mapping):
             if not backends:
@@ -80,6 +103,12 @@ class SamplingService:
         if default_backend not in self._backends:
             raise UnknownBackendError(default_backend, tuple(self._backends))
         self._default_backend = default_backend
+        self._share_history = shared_history
+        self._shared_history: dict[str, "HistoryLayer"] = {}
+        # Jobs may be submitted from concurrent analyst threads; the lock
+        # keeps lazy creation from racing two layers into existence, which
+        # would silently split the cache the feature exists to share.
+        self._shared_history_lock = threading.Lock()
         self._jobs: dict[str, SamplingJob] = {}
         self._job_counter = 0
 
@@ -104,6 +133,51 @@ class SamplingService:
             raise ConfigurationError(f"backend {name!r} is already bound")
         self._backends[name] = _resolve_backend(database)
 
+    def shared_history(self, name: str | None = None):
+        """The history layer every job of the named backend submits through.
+
+        This is either the service-owned lock-striped
+        :class:`~repro.backends.history.HistoryLayer` wrapped around the
+        backend, or — when the backend's own stack already carries a history
+        layer — that layer (already shared by construction).  ``None`` when
+        history sharing is disabled and the backend brings none of its own.
+        """
+        from repro.backends.base import iter_chain
+        from repro.backends.history import HistoryLayer
+
+        name = name or self._default_backend
+        backend = self.backend(name)
+        for node in iter_chain(backend):
+            if isinstance(node, HistoryLayer):
+                return node
+        if not self._share_history:
+            return None
+        with self._shared_history_lock:
+            layer = self._shared_history.get(name)
+            if layer is None:
+                layer = self._shared_history[name] = HistoryLayer(backend)
+        return layer
+
+    def _job_database(self, name: str, use_history: bool = True) -> HiddenDatabase:
+        """What a job of the named backend actually submits through.
+
+        With history sharing on, jobs submit through the service-owned shared
+        layer; a backend that carries its own history layer — or a service
+        with sharing disabled — is used directly.  A job whose config
+        *disables* the §3.2 optimisation (``use_history=False``, the CLI's
+        ``--no-history``) also bypasses the shared layer: a no-history
+        baseline must measure genuinely uncached round-trips.
+        """
+        from repro.backends.base import iter_chain
+        from repro.backends.history import HistoryLayer
+
+        backend = self.backend(name)
+        if not self._share_history or not use_history:
+            return backend
+        if any(isinstance(node, HistoryLayer) for node in iter_chain(backend)):
+            return backend
+        return self.shared_history(name)  # the service-owned layer
+
     # -- job management --------------------------------------------------------------
 
     def submit(
@@ -121,14 +195,15 @@ class SamplingService:
         the service schedules it.
         """
         backend_name = backend or self._default_backend
-        database = self.backend(backend_name)
+        spec = spec or HDSamplerConfig()
+        database = self._job_database(backend_name, use_history=spec.use_history)
         if job_id is None:
             job_id = self._next_job_id()
         elif job_id in self._jobs:
             raise ConfigurationError(f"job id {job_id!r} is already in use")
         job = SamplingJob(
             database,
-            spec or HDSamplerConfig(),
+            spec,
             job_id=job_id,
             backend=backend_name,
         )
@@ -145,7 +220,13 @@ class SamplingService:
         snapshot_id = snapshot.get("job_id")
         if snapshot_id in self._jobs:
             raise ConfigurationError(f"job id {snapshot_id!r} is already in use")
-        job = SamplingJob.restore(snapshot, self.backend(backend_name), backend=backend_name)
+        config = snapshot.get("config")
+        use_history = bool(config.get("use_history", True)) if isinstance(config, Mapping) else True
+        job = SamplingJob.restore(
+            snapshot,
+            self._job_database(backend_name, use_history=use_history),
+            backend=backend_name,
+        )
         self._jobs[job.job_id] = job
         return job
 
@@ -237,11 +318,19 @@ class SamplingService:
         statistics counter plus, when layered in, budget usage and
         history-cache savings — the numbers an operator watches on a shared
         deployment.  Backends without a statistics layer report ``None``
-        counters rather than guessing.
+        counters rather than guessing.  ``shared_history`` reports the
+        cross-job savings of the history layer every job of this backend
+        submits through (``None`` when sharing is off and the backend brings
+        no layer of its own).
         """
         from repro.backends import introspect
 
-        return {"backend": name or self._default_backend, **introspect(self.backend(name))}
+        shared = self.shared_history(name)
+        return {
+            "backend": name or self._default_backend,
+            **introspect(self.backend(name)),
+            "shared_history": shared.statistics.as_dict() if shared is not None else None,
+        }
 
     def describe(self) -> str:
         """One line per job: id, backend, state, progress (used by the CLI)."""

@@ -10,50 +10,63 @@ stack, a shard router — over a real TCP socket, speaking two dialects:
   ``GET /api/schema`` describes the searchable schema and top-``k``;
   ``GET /api/submit?<query string>`` answers one conjunctive query
   (:mod:`repro.web.jsoncodec` defines the payloads, the query string is the
-  ordinary :mod:`repro.web.urlcodec` form encoding);
+  ordinary :mod:`repro.web.urlcodec` form encoding); and
+  ``POST /api/submit_batch`` answers many queries in one round-trip with a
+  **per-item** status envelope, so one rate-limited or budget-exhausted item
+  never fails its siblings;
 * the HTML pages of the in-process site (``/search``, ``/results``), so a
   browser — or a :class:`~repro.web.client.WebFormClient` pointed at a
   socket-backed fetcher — sees the same catalogue a scraper would.
 
-Fault mapping is part of the contract: a
+Fault mapping is part of the contract and lives in one place
+(:func:`repro.web.jsoncodec.error_to_payload` /
+:func:`~repro.web.jsoncodec.error_from_payload`, shared with the client): a
 :class:`~repro.exceptions.RateLimitedError` from the backend becomes HTTP
 **429** (with a ``Retry-After`` hint), any other
 :class:`~repro.exceptions.TransientBackendError` becomes **503**, an
 exhausted :class:`~repro.database.limits.QueryBudget` becomes **403** (not
-retryable), and a malformed query string becomes **400**.  The remote
-adapter maps these back onto the same exceptions, so an
+retryable), a malformed query string becomes **400**.  The remote adapter
+maps these back onto the same exceptions, so an
 :class:`~repro.backends.layers.UnreliableLayer` above it retries *real*
 network faults exactly as it retries injected ones.
 
-The server is threaded (``ThreadingHTTPServer``): concurrent clients — e.g.
-a :class:`~repro.backends.dispatch.DispatchLayer` fanning a batch out — are
-served in parallel, which is why the layer counters lock (see
-``docs/architecture.md``).
+The server is threaded (``ThreadingHTTPServer``) and handlers speak
+HTTP/1.1 keep-alive, so a pooled :class:`~repro.backends.remote.RemoteBackend`
+reuses one TCP connection across many requests.  Batch items are answered
+concurrently over a bounded worker pool: every layer in the served chain —
+including the lock-striped :class:`~repro.backends.history.HistoryLayer` —
+is thread-safe, so nothing needs the serialising submit-lock earlier
+revisions carried (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
-from repro.exceptions import (
-    FormParseError,
-    PageNotFoundError,
-    QueryBudgetExceededError,
-    QueryError,
-    RateLimitedError,
-    TransientBackendError,
-    WebFormError,
+from repro.exceptions import FormParseError, PageNotFoundError
+from repro.web.jsoncodec import (
+    batch_request_from_dict,
+    batch_response_to_dict,
+    error_to_payload,
+    response_to_dict,
+    schema_to_dict,
 )
-from repro.web.jsoncodec import response_to_dict, schema_to_dict
 from repro.web.server import HiddenWebSite
 from repro.web.urlcodec import decode_query
 
 #: JSON API paths served next to the HTML pages.
 API_SCHEMA_PATH = "/api/schema"
 API_SUBMIT_PATH = "/api/submit"
+API_SUBMIT_BATCH_PATH = "/api/submit_batch"
+
+#: Largest accepted ``POST /api/submit_batch`` body, bytes.  Far above any
+#: real batch (queries are a few hundred bytes each) while keeping a
+#: misbehaving client from ballooning the handler's memory.
+MAX_BATCH_BODY_BYTES = 8 * 1024 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -63,6 +76,11 @@ class _Handler(BaseHTTPRequestHandler):
     server: "_Server"
 
     protocol_version = "HTTP/1.1"
+    # The handler's write side is unbuffered, so status line, headers and
+    # body leave as separate small segments; with Nagle on, each keep-alive
+    # response stalls ~40 ms behind the peer's delayed ACK — turning it off
+    # is what makes persistent connections actually fast.
+    disable_nagle_algorithm = True
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         # Routing and payload computation are fully resolved to (status,
@@ -70,7 +88,22 @@ class _Handler(BaseHTTPRequestHandler):
         # error responses, while a write failure on the already-started
         # response (client gone) is terminal for the connection and must
         # never trigger a second response on the same stream.
-        status, body, content_type, headers = self._route()
+        self._respond(*self._route())
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        # An error answered before the request body was consumed (oversized
+        # Content-Length, POST to a non-batch path) would leave those body
+        # bytes in the stream, and the next keep-alive request would be
+        # parsed out of the leftovers.  Closing the connection — and saying
+        # so — keeps the stream honest; the client's pool just reconnects.
+        self._body_consumed = False
+        status, body, content_type, headers = self._route_post()
+        if status >= 400 and not self._body_consumed:
+            headers["Connection"] = "close"
+            self.close_connection = True
+        self._respond(status, body, content_type, headers)
+
+    def _respond(self, status: int, body: bytes, content_type: str, headers: dict) -> None:
         self.server.endpoint.count_request(status)
         try:
             self.send_response(status)
@@ -85,7 +118,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     def _route(self) -> tuple[int, bytes, str, dict]:
-        """Resolve the request to ``(status, body, content_type, headers)``."""
+        """Resolve a GET to ``(status, body, content_type, headers)``."""
         endpoint = self.server.endpoint
         split = urlsplit(self.path)
         headers: dict = {}
@@ -99,32 +132,54 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 page = endpoint.page(self.path)
                 return 200, page.encode("utf-8"), "text/html; charset=utf-8", headers
-        except RateLimitedError as error:
-            status = 429
-            payload = {"error": "rate_limited", "message": str(error), "every": error.every}
-            headers["Retry-After"] = "1"
-        except TransientBackendError as error:
-            status, payload = 503, {"error": "transient", "message": str(error)}
-        except QueryBudgetExceededError as error:
-            status = 403
-            payload = {
-                "error": "budget_exhausted",
-                "message": str(error),
-                "issued": error.issued,
-                "budget": error.budget,
-            }
-        except PageNotFoundError as error:
-            status, payload = 404, {"error": "not_found", "message": str(error)}
-        except (FormParseError, QueryError, WebFormError) as error:
-            status, payload = 400, {"error": "bad_request", "message": str(error)}
         except Exception as error:  # noqa: BLE001 - a server must always answer
-            # Without this the handler thread would die and the socket close
-            # with no status line — the client would misread a deterministic
-            # server-side bug as "unreachable" and burn retries on it.  A 500
-            # carries the real message back in one round-trip.
-            status = 500
-            payload = {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+            # Every library fault has a status-code home; anything else is a
+            # 500 carrying the real message — without this the handler thread
+            # would die and the socket close with no status line, which the
+            # client would misread as "unreachable" and burn retries on.
+            status, payload = error_to_payload(error)
+            if status == 429:
+                headers["Retry-After"] = "1"
         return status, json.dumps(payload).encode("utf-8"), "application/json", headers
+
+    def _route_post(self) -> tuple[int, bytes, str, dict]:
+        """Resolve a POST to ``(status, body, content_type, headers)``."""
+        endpoint = self.server.endpoint
+        split = urlsplit(self.path)
+        headers: dict = {}
+        try:
+            if split.path != API_SUBMIT_BATCH_PATH:
+                raise PageNotFoundError(split.path)
+            payload = endpoint.submit_batch_payload(self._read_json_body())
+            status = 200
+        except Exception as error:  # noqa: BLE001 - a server must always answer
+            status, payload = error_to_payload(error)
+            if status == 429:
+                headers["Retry-After"] = "1"
+        return status, json.dumps(payload).encode("utf-8"), "application/json", headers
+
+    def _read_json_body(self) -> dict:
+        """The request body as parsed JSON; malformed input is a 400."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise FormParseError("unreadable Content-Length header") from None
+        if length <= 0:
+            raise FormParseError("batch request carries no body")
+        if length > MAX_BATCH_BODY_BYTES:
+            raise FormParseError(
+                f"batch request body of {length} bytes exceeds the "
+                f"{MAX_BATCH_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        self._body_consumed = True
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise FormParseError(f"batch request body is not valid JSON: {error}") from None
+        if not isinstance(parsed, dict):
+            raise FormParseError("batch request body must be a JSON object")
+        return parsed
 
     def log_message(self, *args: object) -> None:  # pragma: no cover - silence
         pass
@@ -144,7 +199,9 @@ class HiddenDatabaseHTTPServer:
     layered :class:`~repro.backends.stack.BackendStack`, shard router, a
     classic facade).  ``port=0`` (the default) lets the OS pick a free port —
     the right choice for tests and benchmarks; read :attr:`url` after
-    construction.  The server binds at construction time but only answers
+    construction.  ``batch_workers`` bounds the pool that answers the items
+    of one ``/api/submit_batch`` request concurrently (1 answers them
+    serially).  The server binds at construction time but only answers
     once :meth:`start` spawns the serving thread (or :meth:`serve_forever`
     takes over the calling thread).
 
@@ -161,28 +218,24 @@ class HiddenDatabaseHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         serve_pages: bool = True,
+        batch_workers: int = 8,
     ) -> None:
+        if batch_workers < 1:
+            raise ValueError("batch_workers must be at least 1")
         self.backend = backend
         #: The HTML dialect is served through an ordinary in-process site
         #: over the same backend, so both dialects answer identically.
         self.site = HiddenWebSite(backend) if serve_pages else None
-        #: Handler threads run concurrently; a HistoryLayer anywhere in the
-        #: served chain is single-threaded by design, so submissions are
-        #: serialised through one lock when (and only when) one is present —
-        #: the server-side mirror of _compose refusing parallel + history.
-        from repro.backends.base import iter_chain
-        from repro.backends.history import HistoryLayer
-
-        needs_serialising = any(
-            isinstance(node, HistoryLayer) for node in iter_chain(backend)
-        )
-        self._submit_lock = threading.Lock() if needs_serialising else None
+        self.batch_workers = batch_workers
+        self._batch_pool: ThreadPoolExecutor | None = None
+        self._batch_pool_lock = threading.Lock()
         self._server = _Server((host, port), _Handler)
         self._server.endpoint = self
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self.requests_served = 0
         self.fault_responses = 0
+        self.batch_items_served = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -208,9 +261,13 @@ class HiddenDatabaseHTTPServer:
         self._server.serve_forever()
 
     def stop(self) -> None:
-        """Stop serving and release the socket."""
+        """Stop serving and release the socket (and the batch worker pool)."""
         self._server.shutdown()
         self._server.server_close()
+        with self._batch_pool_lock:
+            pool, self._batch_pool = self._batch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -230,18 +287,37 @@ class HiddenDatabaseHTTPServer:
     def submit_payload(self, query_string: str) -> dict:
         """The ``/api/submit`` response body for one encoded query."""
         query = decode_query(self.backend.schema, query_string)
-        if self._submit_lock is not None:
-            with self._submit_lock:
-                return response_to_dict(self.backend.submit(query))
         return response_to_dict(self.backend.submit(query))
+
+    def submit_batch_payload(self, payload: dict) -> dict:
+        """The ``/api/submit_batch`` response body: one status per item.
+
+        A fault while answering one item becomes that item's ``error`` entry
+        — its siblings still come back answered.  Items are answered
+        concurrently over the bounded batch pool (every layer beneath is
+        thread-safe; the striped history layer deduplicates and the budget
+        layer charges exactly as it would for concurrent clients).
+        """
+        queries = batch_request_from_dict(self.backend.schema, payload)
+
+        def answer(query) -> object:
+            try:
+                return self.backend.submit(query)
+            except Exception as error:  # noqa: BLE001 - per-item status
+                return error
+
+        if len(queries) <= 1 or self.batch_workers == 1:
+            outcomes = [answer(query) for query in queries]
+        else:
+            outcomes = list(self._pool().map(answer, queries))
+        with self._lock:
+            self.batch_items_served += len(queries)
+        return batch_response_to_dict(outcomes)
 
     def page(self, path: str) -> str:
         """The HTML dialect, when enabled (result pages submit to the backend)."""
         if self.site is None:
             raise PageNotFoundError(path)
-        if self._submit_lock is not None:
-            with self._submit_lock:
-                return self.site.get(path)
         return self.site.get(path)
 
     def count_request(self, status: int) -> None:
@@ -250,6 +326,15 @@ class HiddenDatabaseHTTPServer:
             self.requests_served += 1
             if status >= 400:
                 self.fault_responses += 1
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._batch_pool_lock:
+            if self._batch_pool is None:
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=self.batch_workers,
+                    thread_name_prefix="httpd-batch",
+                )
+            return self._batch_pool
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HiddenDatabaseHTTPServer(url={self.url!r})"

@@ -21,16 +21,30 @@ value lists) and re-validating the query assignment against the schema.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.database.interface import InterfaceResponse, ReturnedTuple
 from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Attribute, AttributeKind, Domain, NumericBucket, Schema
-from repro.exceptions import FormParseError
+from repro.exceptions import (
+    BackendAuthError,
+    FormParseError,
+    PageNotFoundError,
+    QueryBudgetExceededError,
+    QueryError,
+    RateLimitedError,
+    TransientBackendError,
+    WebFormError,
+)
 
 #: Version tag of the wire format; bumped on incompatible changes so a
 #: mismatched client fails with a clear error instead of a parse error.
 WIRE_VERSION = 1
+
+#: Version tag of the batch envelope (request and response).  Versioned
+#: separately from the per-item payloads: the batch shape can evolve without
+#: invalidating single-query clients, and vice versa.
+BATCH_WIRE_VERSION = 1
 
 
 # -- schema -----------------------------------------------------------------------
@@ -123,3 +137,160 @@ def response_from_dict(schema: Schema, payload: Mapping) -> InterfaceResponse:
         reported_count=int(reported) if reported is not None else None,
         k=int(payload["k"]),
     )
+
+
+# -- faults -----------------------------------------------------------------------
+#
+# One codec for both directions and both granularities: the HTTP status + JSON
+# body of a failed request, and the per-item ``error`` entries of a batch
+# response, are the same payload.  The server encodes with
+# :func:`error_to_payload`; the client decodes with :func:`error_from_payload`
+# — so the exception a sampler sees is decided in exactly one place.
+
+
+def error_to_payload(error: Exception) -> tuple[int, dict]:
+    """Map a library exception onto ``(http_status, json_payload)``.
+
+    Anything outside the mapped vocabulary is reported as an internal fault
+    (500): the real message still crosses the wire, and the client treats it
+    as transient — a deterministic server-side bug must come back as a status
+    line, never as a dropped connection the client would misread as
+    "unreachable".
+    """
+    if isinstance(error, RateLimitedError):
+        return 429, {"error": "rate_limited", "message": str(error), "every": error.every}
+    if isinstance(error, QueryBudgetExceededError):
+        return 403, {
+            "error": "budget_exhausted",
+            "message": str(error),
+            "issued": error.issued,
+            "budget": error.budget,
+        }
+    if isinstance(error, BackendAuthError):
+        return error.status, {"error": "auth", "message": str(error)}
+    if isinstance(error, TransientBackendError):
+        return 503, {"error": "transient", "message": str(error)}
+    if isinstance(error, PageNotFoundError):
+        return 404, {"error": "not_found", "message": str(error)}
+    if isinstance(error, (FormParseError, QueryError, WebFormError)):
+        return 400, {"error": "bad_request", "message": str(error)}
+    return 500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
+
+
+def error_from_payload(status: int, payload: Mapping) -> Exception:
+    """Rebuild the client-side exception for one failed request or batch item.
+
+    The ``error`` tag wins when present (it survives proxies rewriting status
+    codes); the HTTP status decides otherwise.  Auth-ish statuses — 401, or a
+    403 *without* the budget payload — become :class:`BackendAuthError`, not
+    a parse failure: retrying will not help and nothing was malformed.
+    """
+    tag = payload.get("error")
+    message = payload.get("message", f"HTTP {status}")
+    if tag == "rate_limited" or status == 429:
+        return RateLimitedError(payload.get("every"))
+    if tag == "budget_exhausted" or (status == 403 and "budget" in payload):
+        return QueryBudgetExceededError(
+            int(payload.get("issued", 0)), int(payload.get("budget", 0))
+        )
+    if tag == "auth" or status in (401, 403):
+        return BackendAuthError(status, str(message))
+    if tag in ("transient", "internal") or status >= 500:
+        return TransientBackendError(f"remote backend failure: {message}")
+    return FormParseError(f"remote backend rejected the request: {message}")
+
+
+# -- batches ----------------------------------------------------------------------
+#
+# ``POST /api/submit_batch`` ships many conjunctive queries in one round-trip
+# and answers each with its *own* status, so one rate-limited or exhausted
+# item never fails the whole batch — the retry layer above the remote adapter
+# re-issues only the items that actually failed.
+
+
+def batch_request_to_dict(queries: Sequence[ConjunctiveQuery]) -> dict:
+    """A batch of conjunctive queries as the versioned request envelope."""
+    return {
+        "version": BATCH_WIRE_VERSION,
+        "queries": [query.assignment() for query in queries],
+    }
+
+
+def batch_request_from_dict(schema: Schema, payload: Mapping) -> list[ConjunctiveQuery]:
+    """Rebuild the queries of a :func:`batch_request_to_dict` envelope.
+
+    An unknown envelope version is a clear typed error (the server answers
+    400 with this message), not a ``KeyError`` deep in decoding.
+    """
+    version = payload.get("version")
+    if version != BATCH_WIRE_VERSION:
+        raise FormParseError(
+            f"client speaks batch wire version {version!r}, this server speaks "
+            f"{BATCH_WIRE_VERSION}"
+        )
+    entries = payload.get("queries")
+    if not isinstance(entries, list):
+        raise FormParseError("batch request carries no 'queries' list")
+    return [ConjunctiveQuery.from_assignment(schema, entry) for entry in entries]
+
+
+def batch_response_to_dict(
+    outcomes: Sequence[InterfaceResponse | Exception],
+) -> dict:
+    """Per-item outcomes — responses and typed faults — as one envelope."""
+    items = []
+    for outcome in outcomes:
+        if isinstance(outcome, Exception):
+            status, payload = error_to_payload(outcome)
+            items.append({"status": "error", "http_status": status, "payload": payload})
+        else:
+            items.append({"status": "ok", "response": response_to_dict(outcome)})
+    return {"version": BATCH_WIRE_VERSION, "items": items}
+
+
+def batch_response_from_dict(
+    schema: Schema, payload: Mapping
+) -> list[InterfaceResponse | Exception]:
+    """Rebuild per-item outcomes from :func:`batch_response_to_dict` output.
+
+    Failed items come back as *exception objects*, not raises: the caller
+    (``RemoteBackend.submit_outcomes``) decides per item whether to retry,
+    re-raise, or keep the successful siblings.
+    """
+    version = payload.get("version")
+    if version != BATCH_WIRE_VERSION:
+        raise FormParseError(
+            f"remote backend speaks batch wire version {version!r}, this client "
+            f"speaks {BATCH_WIRE_VERSION}"
+        )
+    items = payload.get("items")
+    if not isinstance(items, list):
+        raise FormParseError("batch response carries no 'items' list")
+    outcomes: list[InterfaceResponse | Exception] = []
+    for item in items:
+        if not isinstance(item, Mapping):
+            raise FormParseError(
+                f"batch response item is a {type(item).__name__}, expected an object"
+            )
+        status = item.get("status")
+        if status == "ok":
+            try:
+                outcomes.append(response_from_dict(schema, item["response"]))
+            except (KeyError, TypeError, AttributeError) as error:
+                # A half-shaped 'ok' item (missing/mis-typed fields) is a
+                # malformed payload, not an untyped crash mid-sampler.
+                raise FormParseError(
+                    f"batch response item is malformed: {type(error).__name__}: {error}"
+                ) from error
+        elif status == "error":
+            payload = item.get("payload", {})
+            if not isinstance(payload, Mapping):
+                payload = {}
+            try:
+                http_status = int(item.get("http_status", 500))
+            except (TypeError, ValueError):
+                http_status = 500
+            outcomes.append(error_from_payload(http_status, payload))
+        else:
+            raise FormParseError(f"batch response item has unknown status {status!r}")
+    return outcomes

@@ -217,10 +217,24 @@ class TestDispatchLayer:
             for q in queries
         ]
 
-    def test_parallel_with_history_is_a_construction_error(self, tiny_table, tiny_schema):
+    def test_parallel_composes_with_history(self, tiny_table, tiny_schema):
+        """The striped HistoryLayer legally sits under the dispatch layer:
+        concurrent batches answer identically AND repeats cost no fetches."""
         site = HiddenWebSite(QueryEngineBackend(tiny_table, k=2, ranking=StaticScoreRanking()))
-        with pytest.raises(ConfigurationError):
-            web_stack(site, tiny_schema, history=True, parallel=4)
+        stack = web_stack(site, tiny_schema, history=True, parallel=4)
+        assert stack.describe() == (
+            "DispatchLayer → HistoryLayer → StatisticsLayer → BudgetLayer → WebPageBackend"
+        )
+        queries = _random_queries(tiny_schema, random.Random(9), 12)
+        oracle = web_stack(
+            HiddenWebSite(QueryEngineBackend(tiny_table, k=2, ranking=StaticScoreRanking())),
+            tiny_schema,
+        )
+        assert stack.submit_many(queries) == [oracle.submit(q) for q in queries]
+        # A second pass over the same batch is answered wholly from history.
+        issued = stack.statistics.queries_issued
+        assert stack.submit_many(queries) == [oracle.submit(q) for q in queries]
+        assert stack.statistics.queries_issued == issued
 
     def test_batch_exception_propagates_first_by_input_order(self, tiny_table, tiny_schema):
         class ExplodesOnHonda:

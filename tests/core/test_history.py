@@ -127,13 +127,13 @@ class TestCacheMaintenance:
         empty = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Honda", "price": "0-10000"})
         cached.submit(valid)   # valid entry
         cached.submit(empty)   # empty entry
-        assert cached._valid_keys.keys() == {valid.canonical_key()}
-        assert cached._empty_keys.keys() == {empty.canonical_key()}
+        assert cached.valid_keys() == {valid.canonical_key()}
+        assert cached.empty_keys() == {empty.canonical_key()}
         # A third distinct entry evicts the oldest (the valid one).
         other = ConjunctiveQuery.from_assignment(tiny_schema, {"make": "Ford"})
         cached.submit(other)
         assert len(cached) == 2
-        assert valid.canonical_key() not in cached._valid_keys
+        assert valid.canonical_key() not in cached.valid_keys()
         # The evicted valid ancestor must no longer feed subset inference.
         issued = tiny_interface.statistics.queries_issued
         cached.submit(valid.specialise("color", "red"))

@@ -370,3 +370,98 @@ class TestRunAll:
         classic = service.backend_statistics("classic")
         assert classic["access_path"].endswith("QueryEngineBackend")
         assert classic["history"] is None
+
+
+class TestSharedHistory:
+    """One lock-striped HistoryLayer per backend, shared by every job on it."""
+
+    def test_jobs_share_one_history_layer_per_backend(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        first = service.submit(_config(3, seed=70))
+        second = service.submit(_config(3, seed=71))
+        shared = service.shared_history()
+        assert shared is not None
+        assert first.session.generator.scoped._database is shared
+        assert second.session.generator.scoped._database is shared
+
+    def test_second_job_accumulates_the_firsts_savings(self, boolean_interface):
+        """The ROADMAP payoff: a job re-running the same workload on a warm
+        service pays measurably fewer interface queries."""
+        shared_service = SamplingService(boolean_interface)
+        shared_service.submit(_config(8, seed=9)).run()
+        issued_after_first = boolean_interface.statistics.queries_issued
+        shared_service.submit(_config(8, seed=9)).run()
+        shared_delta = boolean_interface.statistics.queries_issued - issued_after_first
+
+        cold = SamplingService(boolean_interface, shared_history=False)
+        before = boolean_interface.statistics.queries_issued
+        cold.submit(_config(8, seed=9)).run()
+        cold_delta = boolean_interface.statistics.queries_issued - before
+
+        assert shared_delta == 0  # an identical workload is replayed entirely
+        assert cold_delta > 0
+        assert shared_service.shared_history().statistics.saved > 0
+
+    def test_shared_history_is_per_backend_not_per_service(self, tiny_interface, figure1_interface):
+        service = SamplingService({"tiny": tiny_interface, "figure1": figure1_interface})
+        assert service.shared_history("tiny") is not service.shared_history("figure1")
+        assert service.shared_history("tiny") is service.shared_history("tiny")
+
+    def test_backend_with_own_history_layer_is_not_double_wrapped(self, tiny_table):
+        from repro.backends import engine_stack
+
+        stack = engine_stack(tiny_table, k=2, history=True)
+        service = SamplingService(stack)
+        assert service.shared_history() is stack.history
+        job = service.submit(_config(2, seed=72))
+        assert job.session.generator.scoped._database is stack
+
+    def test_sharing_can_be_disabled(self, tiny_interface):
+        service = SamplingService(tiny_interface, shared_history=False)
+        assert service.shared_history() is None
+        job = service.submit(_config(2, seed=73))
+        assert job.session.generator.scoped._database is tiny_interface
+
+    def test_backend_statistics_surface_shared_savings(self, tiny_interface):
+        service = SamplingService(tiny_interface)
+        service.submit(_config(3, seed=74)).run()
+        service.submit(_config(3, seed=74)).run()
+        report = service.backend_statistics()
+        assert report["shared_history"] is not None
+        assert report["shared_history"]["submissions"] > 0
+        assert report["shared_history"]["saved"] > 0
+
+    def test_dashboard_line_renders_shared_savings(self, tiny_interface):
+        from repro.frontend.dashboard import Dashboard
+
+        service = SamplingService(tiny_interface)
+        job = service.submit(_config(3, seed=75))
+        dashboard = Dashboard(job, backend=service)
+        job.run()
+        line = dashboard.render_backend_line()
+        assert "shared history saved" in line
+
+    def test_results_identical_with_and_without_sharing(self, tiny_interface):
+        """Sharing changes round-trip accounting, never answers: the sampled
+        tuples of a job are byte-identical either way."""
+        with_sharing = SamplingService(tiny_interface).submit(_config(6, seed=76)).run()
+        without = SamplingService(tiny_interface, shared_history=False).submit(
+            _config(6, seed=76)
+        ).run()
+        assert [s.tuple_id for s in with_sharing.samples] == [
+            s.tuple_id for s in without.samples
+        ]
+
+    def test_no_history_jobs_bypass_the_shared_layer(self, tiny_interface):
+        """A use_history=False job must measure genuinely uncached round-trips:
+        neither its own cache NOR the service's shared layer may absorb them."""
+        service = SamplingService(tiny_interface)
+        spec = _config(4, seed=77, use_history=False)
+        job = service.submit(spec)
+        assert job.session.generator.scoped._database is tiny_interface
+        job.run()
+        before = tiny_interface.statistics.queries_issued
+        rerun = service.submit(_config(4, seed=77, use_history=False))
+        rerun.run()
+        # The identical workload re-pays every interface query.
+        assert tiny_interface.statistics.queries_issued - before == job.queries_issued

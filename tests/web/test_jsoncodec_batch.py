@@ -1,0 +1,205 @@
+"""The batch wire envelope and fault codec: round trips and version walls.
+
+The envelope is the single definition both ends import, so the properties
+here are the whole compatibility story: anything encoded decodes back
+byte-identically through real JSON text, every typed fault survives the
+status+payload trip with its attributes intact, and an unknown envelope
+version is a *clear typed error* on whichever side meets it — never a
+``KeyError`` from half-decoded payload guts.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import QueryEngineBackend
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import StaticScoreRanking
+from repro.exceptions import (
+    BackendAuthError,
+    FormParseError,
+    PageNotFoundError,
+    QueryBudgetExceededError,
+    QueryError,
+    RateLimitedError,
+    TransientBackendError,
+)
+from repro.web.jsoncodec import (
+    BATCH_WIRE_VERSION,
+    batch_request_from_dict,
+    batch_request_to_dict,
+    batch_response_from_dict,
+    batch_response_to_dict,
+    error_from_payload,
+    error_to_payload,
+)
+
+
+def _random_query(schema, rng: random.Random) -> ConjunctiveQuery:
+    assignment = {}
+    for attribute in schema:
+        if rng.random() < 0.5:
+            assignment[attribute.name] = rng.choice(attribute.domain.values)
+    return ConjunctiveQuery.from_assignment(schema, assignment)
+
+
+class TestBatchRequestRoundTrip:
+    @given(seed=st.integers(0, 10_000), count=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_queries_round_trip_through_json_text(self, tiny_schema_fn, seed, count):
+        schema = tiny_schema_fn
+        rng = random.Random(seed)
+        queries = [_random_query(schema, rng) for _ in range(count)]
+        payload = json.loads(json.dumps(batch_request_to_dict(queries)))
+        decoded = batch_request_from_dict(schema, payload)
+        assert [q.canonical_key() for q in decoded] == [q.canonical_key() for q in queries]
+
+    def test_unknown_request_version_is_a_typed_error(self, tiny_schema_fn):
+        with pytest.raises(FormParseError, match="batch wire version"):
+            batch_request_from_dict(tiny_schema_fn, {"version": 999, "queries": []})
+        with pytest.raises(FormParseError, match="batch wire version"):
+            batch_request_from_dict(tiny_schema_fn, {})  # no version at all
+
+    def test_missing_queries_list_is_a_typed_error(self, tiny_schema_fn):
+        with pytest.raises(FormParseError, match="queries"):
+            batch_request_from_dict(tiny_schema_fn, {"version": BATCH_WIRE_VERSION})
+
+
+class TestBatchResponseRoundTrip:
+    @given(
+        seed=st.integers(0, 10_000),
+        shape=st.lists(st.sampled_from(["ok", "rate", "budget", "auth", "transient", "parse"]),
+                       min_size=0, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_outcomes_round_trip(self, tiny_table_fn, seed, shape):
+        backend = QueryEngineBackend(tiny_table_fn, k=2, ranking=StaticScoreRanking())
+        rng = random.Random(seed)
+        outcomes = []
+        for kind in shape:
+            if kind == "ok":
+                outcomes.append(backend.submit(_random_query(backend.schema, rng)))
+            elif kind == "rate":
+                outcomes.append(RateLimitedError(rng.choice([None, 3])))
+            elif kind == "budget":
+                outcomes.append(QueryBudgetExceededError(10, 10))
+            elif kind == "auth":
+                outcomes.append(BackendAuthError(rng.choice([401, 403]), "denied"))
+            elif kind == "transient":
+                outcomes.append(TransientBackendError("503ish"))
+            else:
+                outcomes.append(FormParseError("bad query string"))
+        payload = json.loads(json.dumps(batch_response_to_dict(outcomes)))
+        decoded = batch_response_from_dict(backend.schema, payload)
+        assert len(decoded) == len(outcomes)
+        for original, restored in zip(outcomes, decoded):
+            if isinstance(original, RateLimitedError):
+                assert isinstance(restored, RateLimitedError)
+                assert restored.every == original.every
+            elif isinstance(original, QueryBudgetExceededError):
+                assert isinstance(restored, QueryBudgetExceededError)
+                assert (restored.issued, restored.budget) == (original.issued, original.budget)
+            elif isinstance(original, BackendAuthError):
+                assert isinstance(restored, BackendAuthError)
+                assert restored.status == original.status
+            elif isinstance(original, TransientBackendError):
+                assert isinstance(restored, TransientBackendError)
+            elif isinstance(original, FormParseError):
+                assert isinstance(restored, FormParseError)
+            else:
+                assert restored == original  # byte-identical InterfaceResponse
+
+    def test_unknown_response_version_is_a_typed_error(self, tiny_schema_fn):
+        with pytest.raises(FormParseError, match="batch wire version"):
+            batch_response_from_dict(tiny_schema_fn, {"version": 0, "items": []})
+
+    def test_unknown_item_status_is_a_typed_error(self, tiny_schema_fn):
+        with pytest.raises(FormParseError, match="unknown status"):
+            batch_response_from_dict(
+                tiny_schema_fn,
+                {"version": BATCH_WIRE_VERSION, "items": [{"status": "maybe"}]},
+            )
+
+
+class TestErrorCodec:
+    @pytest.mark.parametrize(
+        "error, status",
+        [
+            (RateLimitedError(5), 429),
+            (QueryBudgetExceededError(7, 7), 403),
+            (BackendAuthError(401, "no key"), 401),
+            (BackendAuthError(403, "revoked"), 403),
+            (TransientBackendError("down"), 503),
+            (PageNotFoundError("/nope"), 404),
+            (FormParseError("bogus"), 400),
+            (QueryError("dup predicate"), 400),
+            (RuntimeError("wired up wrong"), 500),
+        ],
+    )
+    def test_status_codes_and_type_preservation(self, error, status):
+        encoded_status, payload = error_to_payload(error)
+        assert encoded_status == status
+        restored = error_from_payload(encoded_status, json.loads(json.dumps(payload)))
+        if isinstance(error, RateLimitedError):
+            assert isinstance(restored, RateLimitedError) and restored.every == 5
+        elif isinstance(error, QueryBudgetExceededError):
+            assert isinstance(restored, QueryBudgetExceededError)
+        elif isinstance(error, BackendAuthError):
+            assert isinstance(restored, BackendAuthError) and restored.status == status
+        elif isinstance(error, TransientBackendError):
+            assert isinstance(restored, TransientBackendError)
+        elif isinstance(error, RuntimeError):
+            # Server-side bugs come back transient: retrying is the honest
+            # client-side posture for an unknown internal fault.
+            assert isinstance(restored, TransientBackendError)
+            assert "wired up wrong" in str(restored)
+        else:
+            assert isinstance(restored, FormParseError)
+
+    def test_status_alone_decides_without_a_tag(self):
+        assert isinstance(error_from_payload(429, {}), RateLimitedError)
+        assert isinstance(error_from_payload(401, {}), BackendAuthError)
+        assert isinstance(error_from_payload(403, {}), BackendAuthError)  # no budget payload
+        assert isinstance(
+            error_from_payload(403, {"budget": 5, "issued": 5}), QueryBudgetExceededError
+        )
+        assert isinstance(error_from_payload(500, {}), TransientBackendError)
+        assert isinstance(error_from_payload(502, {}), TransientBackendError)
+        assert isinstance(error_from_payload(400, {}), FormParseError)
+        assert isinstance(error_from_payload(404, {}), FormParseError)
+
+
+# -- fixtures --------------------------------------------------------------------
+#
+# Hypothesis-driven tests cannot take function-scoped pytest fixtures, so the
+# tiny schema/table pair is rebuilt through module-level helpers.
+
+
+@pytest.fixture(scope="module")
+def tiny_schema_fn():
+    from repro.database.schema import Attribute, Domain, Schema
+
+    return Schema(
+        [
+            Attribute("make", Domain.categorical(("Toyota", "Honda", "Ford"))),
+            Attribute("color", Domain.categorical(("red", "blue"))),
+            Attribute("price", Domain.numeric_buckets((0.0, 10_000.0, 20_000.0, 40_000.0))),
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_table_fn(tiny_schema_fn):
+    from repro.database.table import Table
+
+    rows = [
+        {"make": "Toyota", "color": "red", "price": 5_000.0, "score": 10.0},
+        {"make": "Toyota", "color": "blue", "price": 15_000.0, "score": 9.0},
+        {"make": "Honda", "color": "red", "price": 15_000.0, "score": 6.0},
+        {"make": "Ford", "color": "red", "price": 5_000.0, "score": 4.0},
+    ]
+    return Table(tiny_schema_fn, rows, name="tiny")

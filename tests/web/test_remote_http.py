@@ -212,9 +212,9 @@ class TestRemoteRoundTrip:
     def test_history_layered_backend_is_served_safely_under_concurrent_clients(
         self, tiny_table, tiny_schema
     ):
-        # The threaded server serialises submissions when a (single-threaded)
-        # HistoryLayer is in the served chain; hammering it from 8 client
-        # threads must neither corrupt the cache nor change any answer.
+        # The lock-striped HistoryLayer serves the threaded endpoint without
+        # any serialising lock; hammering it from 8 client threads must
+        # neither corrupt the cache nor change any answer.
         from concurrent.futures import ThreadPoolExecutor
 
         served = engine_stack(
