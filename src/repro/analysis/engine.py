@@ -1,0 +1,222 @@
+"""The reprolint engine: walk sources, run rules, honour suppressions.
+
+The repo's concurrency and layering invariants used to live in
+``docs/architecture.md`` prose and reviewers' heads — and PRs 4 and 5 each
+shipped a batch of bugs for invariants nobody re-checked mechanically.  This
+package states each invariant once, as a named rule over the AST, and checks
+the whole tree on every run: the same "declare the integrity constraint,
+verify it over the entire relation" discipline the source paper applies to
+hidden databases, applied to the codebase itself.
+
+The engine is deliberately small:
+
+* a :class:`ModuleSource` is one parsed file (text, AST, and the line →
+  suppressed-rule-ids map extracted from ``# reprolint: disable=R1`` inline
+  comments);
+* a :class:`Rule` sees every module through :meth:`Rule.check_module` and may
+  emit more findings from :meth:`Rule.finish` once the whole tree has been
+  seen (how the lock-order rule detects cross-module cycles);
+* :func:`run_analysis` walks the given paths, applies every rule, filters
+  suppressed findings and returns the rest sorted by location.
+
+Everything is standard library only (``ast`` + ``re``), so the linter runs
+wherever the package itself does — including the CI ``lint`` job.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Rule id reserved for files the engine itself cannot parse.
+PARSE_ERROR_RULE = "E0"
+
+#: Inline suppression syntax: ``# reprolint: disable=R1`` (one or more
+#: comma-separated rule ids, or ``all``) on the first line of the flagged
+#: statement.  Etiquette: every suppression should carry a trailing reason —
+#: see the Invariants section of ``docs/architecture.md``.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (the ``--format json`` payload item)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The classic ``path:line:col: RULE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, as every rule sees it."""
+
+    path: Path
+    #: The path string used in findings (relative to the analysis root when
+    #: possible, so output is stable across checkouts).
+    display_path: str
+    text: str
+    tree: ast.Module
+    #: line number -> rule ids suppressed on that line (``{"all"}`` wildcard).
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment silences ``finding`` on its line."""
+        suppressed = self.suppressions.get(finding.line)
+        if suppressed is None:
+            return False
+        return finding.rule in suppressed or "all" in suppressed
+
+
+class Rule:
+    """Base class of every reprolint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`name` / :attr:`rationale` and
+    implement :meth:`check_module`; rules that need a whole-tree view (the
+    lock-order graph) accumulate state there and emit from :meth:`finish`.
+    Rule instances are created fresh for every :func:`run_analysis` call, so
+    accumulated state never leaks between runs.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Findings local to one module (default: none)."""
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """Findings requiring the whole tree (default: none)."""
+        return ()
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchoring a finding to an AST node."""
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def extract_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """The ``# reprolint: disable=...`` map of a source text, by line."""
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+        if ids:
+            suppressions[lineno] = ids
+    return suppressions
+
+
+def load_module(path: Path, display_path: str) -> ModuleSource:
+    """Parse one file into a :class:`ModuleSource`.
+
+    Raises :class:`SyntaxError` when the file does not parse; the caller
+    turns that into an :data:`PARSE_ERROR_RULE` finding so a broken file
+    fails the build instead of silently escaping every rule.
+    """
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return ModuleSource(
+        path=path,
+        display_path=display_path,
+        text=text,
+        tree=tree,
+        suppressions=extract_suppressions(text),
+    )
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files are taken as given), sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = (path,)
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _display_path(path: Path, roots: Sequence[Path]) -> str:
+    for root in roots:
+        try:
+            relative = path.resolve().relative_to(root.resolve().parent)
+        except ValueError:
+            continue
+        return str(relative)
+    return str(path)
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: the full registry) over every file in ``paths``.
+
+    Returns the unsuppressed findings sorted by (path, line, col, rule).
+    """
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    findings: list[Finding] = []
+    modules: list[ModuleSource] = []
+    directories = [path for path in paths if path.is_dir()]
+    for file_path in iter_source_files(paths):
+        display = _display_path(file_path, directories)
+        try:
+            module = load_module(file_path, display)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+        for rule in rules:
+            for finding in rule.check_module(module):
+                if not module.is_suppressed(finding):
+                    findings.append(finding)
+    by_display = {module.display_path: module for module in modules}
+    for rule in rules:
+        for finding in rule.finish():
+            module = by_display.get(finding.path)
+            if module is None or not module.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)

@@ -1,0 +1,105 @@
+"""Small AST utilities shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def attribute_chain(node: ast.expr) -> tuple[ast.expr, tuple[str, ...]] | None:
+    """Decompose ``base.a.b[...].c`` into ``(base, ("a", "b", "c"))``.
+
+    Subscripts are transparent (``self.cache[key]`` still touches ``cache``);
+    returns ``None`` when the expression is not an attribute access at all
+    (e.g. a bare name or a call result).
+    """
+    names: list[str] = []
+    current: ast.expr = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            names.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            break
+    if not names:
+        return None
+    names.reverse()
+    return current, tuple(names)
+
+
+def expression_source(node: ast.expr) -> str:
+    """A canonical text form of ``node`` used to compare lock expressions."""
+    try:
+        return ast.unparse(node)
+    except (ValueError, RecursionError):  # pragma: no cover - 3.11 unparses all exprs
+        return ast.dump(node)
+
+
+def flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    """Yield every leaf target of a (possibly tuple/list/starred) assignment."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from flatten_targets(target.value)
+    else:
+        yield target
+
+
+def class_functions(class_node: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """The directly-defined methods of a class (no nested classes)."""
+    for statement in class_node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement
+
+
+def module_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Top-level classes of a module (nested classes are rare and skipped)."""
+    for statement in tree.body:
+        if isinstance(statement, ast.ClassDef):
+            yield statement
+
+
+def base_names(class_node: ast.ClassDef) -> tuple[str, ...]:
+    """The textual names of a class's bases (``module.Base`` -> ``Base``)."""
+    names: list[str] = []
+    for base in class_node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def guarded_by_map(class_node: ast.ClassDef) -> dict[str, str]:
+    """The ``_guarded_by = {"attr": "lock"}`` declaration of a class, if any.
+
+    Only a literal dict of string constants counts — the declaration is a
+    statically-checkable contract, not a runtime value.
+    """
+    for statement in class_node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        if not any(isinstance(t, ast.Name) and t.id == "_guarded_by" for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        mapping: dict[str, str] = {}
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Constant)
+                and isinstance(val.value, str)
+            ):
+                mapping[key.value] = val.value
+        return mapping
+    return {}

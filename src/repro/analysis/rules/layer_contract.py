@@ -1,0 +1,71 @@
+"""R2 layer-contract: every layer handles both halves of the batch protocol.
+
+Motivating bug class (PR 5): the batched wire path was added and several
+``BackendLayer`` subclasses kept their inherited pass-through ``submit_many``
+— so a batch *bypassed* the very concern the layer existed to add (budgets
+uncharged, statistics unrecorded, counts unshaped) until a review pass closed
+each gap by hand.  The same gap re-opens every time someone writes a new
+layer and forgets one of the batch entry points.
+
+The rule: a ``BackendLayer`` subclass that overrides any of the submission
+entry points (``submit``, ``submit_many``, ``submit_outcomes``) must define
+**both** batch halves, ``submit_many`` *and* ``submit_outcomes``.  Overriding
+``submit`` alone means single submissions get the layer's concern while
+batches sneak past it through the inherited forwarding; overriding one batch
+half but not the other splits the semantics between two code paths the layer
+does not control.
+
+A subclass that overrides none of the three (a pure schema/introspection
+wrapper) inherits the base class's forwarding for all of them consistently
+and is fine.  The base class itself is exempt — its forwarding *is* the
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+from repro.analysis.rules._ast_helpers import base_names, class_functions, module_classes
+
+#: Names that mark a class as a middleware layer when they appear in bases.
+LAYER_BASES = frozenset({"BackendLayer"})
+
+_SUBMIT_METHODS = ("submit", "submit_many", "submit_outcomes")
+_BATCH_METHODS = ("submit_many", "submit_outcomes")
+
+
+class LayerContractRule(Rule):
+    """R2: layers overriding submission must define both batch halves."""
+
+    rule_id = "R2"
+    name = "layer-contract"
+    rationale = (
+        "PR 5's missing-batch-half bug class: a layer whose concern applies "
+        "per submission must apply it on submit_many and submit_outcomes too"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for class_node in module_classes(module.tree):
+            if class_node.name in LAYER_BASES:
+                continue
+            if not (set(base_names(class_node)) & LAYER_BASES):
+                continue
+            defined = {function.name for function in class_functions(class_node)}
+            overridden = defined & set(_SUBMIT_METHODS)
+            if not overridden:
+                continue
+            missing = [name for name in _BATCH_METHODS if name not in defined]
+            for name in missing:
+                findings.append(
+                    self.finding(
+                        module,
+                        class_node,
+                        f"BackendLayer subclass '{class_node.name}' overrides "
+                        f"{', '.join(sorted(overridden))} but does not define "
+                        f"'{name}' — batches would bypass the layer's concern "
+                        f"through inherited forwarding",
+                    )
+                )
+        return findings

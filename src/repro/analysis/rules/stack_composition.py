@@ -1,0 +1,103 @@
+"""R6 stack-composition: reliability layers sit below accounting layers.
+
+Motivating bug class (PR 4): a stack built with the retry/unreliable layer
+*above* the budget layer charged the budget once per retry attempt — three
+transient faults burned four charges for one logical query — and a stack with
+statistics above retries recorded only the final outcome, hiding the fault
+rate the experiment was supposed to measure.  The fix was an ordering
+contract on ``repro/backends/stack.py``'s builders:
+
+    CountMode  <  Unreliable/retry  <  Budget  <  Statistics  <  History  <  Dispatch
+
+(bottom of the stack first: layers are listed innermost-first in ``_compose``
+and wrapped bottom-up, so *textual first mention* must follow stack order).
+
+The rule checks every function in the stack-builder modules (any file whose
+name is ``stack.py``): when a function's body mentions two or more of the
+ranked layer constructors, their first mentions must appear in non-decreasing
+rank order.  Mentioning one layer alone, or none, is fine — the rule fires on
+*composition* sites, not on the layer definitions themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+#: Stack position of each layer constructor, innermost (closest to the raw
+#: backend) first.  ``UnreliableLayer`` models the retried fault source and
+#: must sit below budget/statistics so retries are charged and recorded.
+LAYER_RANKS: dict[str, int] = {
+    "CountModeLayer": 0,
+    "UnreliableLayer": 1,
+    "BudgetLayer": 2,
+    "StatisticsLayer": 3,
+    "HistoryLayer": 4,
+    "DispatchLayer": 5,
+}
+
+#: Only composition modules are checked — layer *definitions* mention the
+#: names in arbitrary order legitimately.
+STACK_MODULE_NAME = "stack.py"
+
+
+def _first_mentions(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[tuple[str, ast.AST]]:
+    """Ranked layer names in textual first-mention order within ``function``."""
+    seen: set[str] = set()
+    mentions: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(function):
+        name: str | None = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name in LAYER_RANKS and name not in seen:
+            seen.add(name)
+            mentions.append((name, node))
+    mentions.sort(key=lambda pair: (pair[1].lineno, pair[1].col_offset))
+    return mentions
+
+
+class StackCompositionRule(Rule):
+    """R6: stack builders list layers bottom-up in the canonical order."""
+
+    rule_id = "R6"
+    name = "stack-composition"
+    rationale = (
+        "retry layers above budget/statistics double-charge and under-count; "
+        "builders must compose CountMode < Unreliable < Budget < Statistics "
+        "< History < Dispatch"
+    )
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        path = module.display_path.replace("\\", "/")
+        if not path.endswith("/" + STACK_MODULE_NAME) and path != STACK_MODULE_NAME:
+            return ()
+        findings: list[Finding] = []
+        functions: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        for statement in module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.append(statement)
+            elif isinstance(statement, ast.ClassDef):
+                for inner in statement.body:
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        functions.append(inner)
+        for function in functions:
+            mentions = _first_mentions(function)
+            if len(mentions) < 2:
+                continue
+            for (earlier, _), (later, node) in zip(mentions, mentions[1:]):
+                if LAYER_RANKS[earlier] > LAYER_RANKS[later]:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"'{later}' composed after '{earlier}' in "
+                            f"{function.name} — stack builders must mention "
+                            f"layers innermost-first ({earlier} ranks above "
+                            f"{later} in the canonical order)",
+                        )
+                    )
+        return findings

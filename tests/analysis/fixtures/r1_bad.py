@@ -1,0 +1,18 @@
+"""R1 fixture: guarded attributes mutated outside their declared lock."""
+
+import threading
+
+
+class Counter:
+    _guarded_by = {"count": "_lock", "events": "_lock"}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.events = []
+
+    def bump(self, amount):
+        self.count += amount
+
+    def log(self, amount):
+        self.events.append(amount)

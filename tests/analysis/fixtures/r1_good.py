@@ -1,0 +1,28 @@
+"""R1 fixture: every guarded attribute is touched under its declared lock."""
+
+import threading
+
+
+class Counter:
+    _guarded_by = {"count": "_lock", "events": "_lock"}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.events = []
+
+    def bump(self, amount):
+        with self._lock:
+            self.count += amount
+            self.events.append(amount)
+
+    def read(self):
+        with self._lock:
+            return self.count
+
+    def _drain_locked(self):
+        # ``*_locked`` helpers document that the caller already holds the lock.
+        total = self.count
+        self.count = 0
+        self.events.clear()
+        return total

@@ -1,0 +1,20 @@
+"""R2 fixture: a layer overrides submit_many without submit_outcomes."""
+
+
+class BackendLayer:
+    def submit(self, query):
+        raise NotImplementedError
+
+    def submit_many(self, queries):
+        raise NotImplementedError
+
+    def submit_outcomes(self, queries):
+        raise NotImplementedError
+
+
+class LopsidedLayer(BackendLayer):
+    def submit(self, query):
+        return query
+
+    def submit_many(self, queries):
+        return list(queries)

@@ -1,0 +1,30 @@
+"""R2 fixture: a layer overriding submission defines both batch halves."""
+
+
+class BackendLayer:
+    def submit(self, query):
+        raise NotImplementedError
+
+    def submit_many(self, queries):
+        raise NotImplementedError
+
+    def submit_outcomes(self, queries):
+        raise NotImplementedError
+
+
+class CountingLayer(BackendLayer):
+    def submit(self, query):
+        return query
+
+    def submit_many(self, queries):
+        return list(queries)
+
+    def submit_outcomes(self, queries):
+        return [(query, None) for query in queries]
+
+
+class PassthroughLayer(BackendLayer):
+    """Overrides nothing submission-related: nothing required of it."""
+
+    def describe(self):
+        return "passthrough"

@@ -1,0 +1,20 @@
+"""R3 fixture: a broad except that swallows, and an untyped raise.
+
+The broad except is flagged anywhere.  The ``raise ValueError`` is flagged
+only when this module is presented under a typed-boundary path
+(``repro/backends/`` or ``repro/web/``), which the tests arrange via the
+``display_path`` of the constructed :class:`ModuleSource`.
+"""
+
+
+def swallow(operation):
+    try:
+        return operation()
+    except Exception:
+        return None
+
+
+def reject(value):
+    if value < 0:
+        raise ValueError("negative")
+    return value

@@ -1,0 +1,26 @@
+"""R3 fixture: narrow excepts, re-raise escape hatch, typed raises only."""
+
+from repro.exceptions import ConfigurationError, TransientBackendError
+
+
+def parse_port(raw):
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"not a port: {raw!r}")
+
+
+def annotate_and_reraise(operation):
+    try:
+        return operation()
+    except Exception:
+        # A broad catch is fine when the handler re-raises: nothing is
+        # swallowed, the exception is merely observed on the way through.
+        raise
+
+
+def retry_once(operation):
+    try:
+        return operation()
+    except TransientBackendError:
+        return operation()

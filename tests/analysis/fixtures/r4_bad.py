@@ -1,0 +1,16 @@
+"""R4 fixture: module-level random calls and clock seeding."""
+
+import random
+import time
+
+from random import choice
+
+from repro._rng import resolve_rng
+
+
+def pick(values):
+    return random.choice(list(values))
+
+
+def clock_seeded_rng():
+    return resolve_rng(random.Random(time.time()))

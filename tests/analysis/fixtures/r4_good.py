@@ -1,0 +1,16 @@
+"""R4 fixture: randomness flows through the seeded-RNG plumbing."""
+
+from random import Random
+
+from repro._rng import resolve_rng
+
+
+def pick(values, rng=None):
+    resolved = resolve_rng(rng)
+    return resolved.choice(list(values))
+
+
+def shuffled(values, rng: Random):
+    items = list(values)
+    rng.shuffle(items)
+    return items

@@ -1,0 +1,22 @@
+"""R5 fixture: the same two locks nested in opposite orders — a cycle."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.entries = []
+        self.totals = 0
+
+    def record(self, entry):
+        with self._lock:
+            self.entries.append(entry)
+            with self._stats_lock:
+                self.totals += 1
+
+    def summarise(self):
+        with self._stats_lock:
+            with self._lock:
+                return (len(self.entries), self.totals)

@@ -1,0 +1,23 @@
+"""R5 fixture: two locks, always nested in the same order."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.entries = []
+        self.totals = 0
+
+    def record(self, entry):
+        with self._lock:
+            self.entries.append(entry)
+            with self._stats_lock:
+                self.totals += 1
+
+    def merge(self, other_entries):
+        with self._lock:
+            self.entries.extend(other_entries)
+            with self._stats_lock:
+                self.totals += len(other_entries)

@@ -1,0 +1,11 @@
+"""R6 fixture: builder mentions layers out of canonical order.
+
+Only meaningful when presented under a ``stack.py`` display path; the tests
+arrange that when constructing the :class:`ModuleSource`.
+"""
+
+
+def build_stack(inner, budget):
+    layer = StatisticsLayer(inner)
+    layer = BudgetLayer(layer, budget=budget)
+    return HistoryLayer(layer)

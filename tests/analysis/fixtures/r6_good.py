@@ -1,0 +1,14 @@
+"""R6 fixture: builder wires layers innermost-first (canonical order).
+
+Only meaningful when presented under a ``stack.py`` display path; the tests
+arrange that when constructing the :class:`ModuleSource`.
+"""
+
+
+def build_stack(inner, budget, seed):
+    layer = CountModeLayer(inner)
+    layer = UnreliableLayer(layer, seed=seed)
+    layer = BudgetLayer(layer, budget=budget)
+    layer = StatisticsLayer(layer)
+    layer = HistoryLayer(layer)
+    return DispatchLayer(layer)
