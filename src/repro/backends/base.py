@@ -129,6 +129,19 @@ class BackendLayer:
         """
         return forward_many(self.inner, queries)
 
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list["InterfaceResponse | Exception"]:
+        """Forward a batch reporting per-item outcomes (the other batch half).
+
+        Both batch halves forward by default so a pure pass-through subclass
+        stays consistent; a subclass overriding any submission entry point
+        must override both halves — reprolint R2 (layer-contract) enforces
+        exactly that, because a layer whose concern applies per submission
+        must apply it on every path a batch can take.
+        """
+        return forward_outcomes(self.inner, queries)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.inner!r})"
 

@@ -57,6 +57,11 @@ DEFAULT_MAX_WORKERS = 8
 class _LazyPool:
     """A bounded ``ThreadPoolExecutor`` created on first use, shared via lock."""
 
+    #: Machine-checked by reprolint R1 (guarded-state): the pool reference is
+    #: only created/swapped while ``_lock`` is held, so concurrent first
+    #: callers share one executor instead of leaking one each.
+    _guarded_by = {"_pool": "_lock"}
+
     def __init__(self, max_workers: int, thread_name_prefix: str) -> None:
         if max_workers <= 0:
             raise InterfaceError("max_workers must be positive")
@@ -113,7 +118,9 @@ class ConcurrentShardRouter(ShardRouter):
         router = super().over_table(*args, **kwargs)
         assert isinstance(router, ConcurrentShardRouter)  # cls propagates
         if max_workers is not None:
-            router._pool = _LazyPool(max_workers, thread_name_prefix="shard-dispatch")
+            # Construction time: the router has not been shared yet, so the
+            # swap cannot race a concurrent ``get()``.
+            router._pool = _LazyPool(max_workers, thread_name_prefix="shard-dispatch")  # reprolint: disable=R1
         return router
 
     @property
@@ -200,6 +207,41 @@ class DispatchLayer(BackendLayer):
         if len(queries) <= 1:
             return [self.inner.submit(query) for query in queries]
         return list(self._pool.get().map(self.inner.submit, queries))
+
+    def submit_outcomes(
+        self, queries: Sequence[ConjunctiveQuery]
+    ) -> list["InterfaceResponse | Exception"]:
+        """Per-item outcomes, issued concurrently like :meth:`submit_many`.
+
+        One failed item must not discard its siblings' answers (the history
+        layer caches whatever was paid for even when the batch as a whole
+        fails), so each worker captures its item's exception via
+        :func:`~repro.backends.base.forward_outcomes` instead of raising
+        across the pool.
+        """
+        from repro.backends.base import forward_outcomes
+
+        queries = list(queries)
+        if self.batch_size is not None:
+            size = self.batch_size
+            chunks = [queries[start : start + size] for start in range(0, len(queries), size)]
+            if len(chunks) <= 1:
+                return forward_outcomes(self.inner, queries)
+            merged: list[InterfaceResponse | Exception] = []
+            for outcomes in self._pool.get().map(
+                lambda chunk: forward_outcomes(self.inner, chunk), chunks
+            ):
+                merged.extend(outcomes)
+            return merged
+        if len(queries) <= 1:
+            return forward_outcomes(self.inner, queries)
+        return [
+            outcome
+            for outcomes in self._pool.get().map(
+                lambda query: forward_outcomes(self.inner, [query]), queries
+            )
+            for outcome in outcomes
+        ]
 
     def _submit_chunked(self, queries: list[ConjunctiveQuery]) -> list[InterfaceResponse]:
         """Cut the batch into wire-sized chunks and overlap them on the pool."""
