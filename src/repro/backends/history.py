@@ -62,12 +62,13 @@ from __future__ import annotations
 
 import enum
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.database.interface import HiddenDatabase, InterfaceResponse, ReturnedTuple
 from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Schema
+from repro.exceptions import ConfigurationError
 
 #: Default stripe count: plenty of parallelism for the 4–16 worker pools the
 #: dispatch layers run, while keeping per-instance overhead negligible.
@@ -120,6 +121,15 @@ class _Stripe:
 
     __slots__ = ("lock", "responses", "valid_keys", "empty_keys", "in_flight")
 
+    #: Machine-checked by reprolint R1 (guarded-state): every dict of the
+    #: stripe is only touched while that same stripe's ``lock`` is held.
+    _guarded_by = {
+        "responses": "lock",
+        "valid_keys": "lock",
+        "empty_keys": "lock",
+        "in_flight": "lock",
+    }
+
     def __init__(self) -> None:
         self.lock = threading.Lock()
         #: key -> cached response, in insertion order (O(1) oldest eviction).
@@ -155,6 +165,11 @@ class HistoryLayer:
     #: mode — 2^|q| subset enumeration stops paying off long before that.
     _MAX_SUBSET_PREDICATES = 20
 
+    #: Machine-checked by reprolint R1 (guarded-state): the savings counters
+    #: are only mutated under the dedicated statistics lock (stripe dicts are
+    #: declared on :class:`_Stripe` itself).
+    _guarded_by = {"statistics": "_stats_lock"}
+
     def __init__(
         self,
         database: HiddenDatabase,
@@ -163,11 +178,13 @@ class HistoryLayer:
         stripes: int = DEFAULT_STRIPES,
     ) -> None:
         if max_entries is not None and max_entries <= 0:
-            raise ValueError("max_entries must be positive when given")
+            raise ConfigurationError("max_entries must be positive when given")
         if inference not in ("indexed", "scan"):
-            raise ValueError(f"inference must be 'indexed' or 'scan', got {inference!r}")
+            raise ConfigurationError(
+                f"inference must be 'indexed' or 'scan', got {inference!r}"
+            )
         if stripes < 1:
-            raise ValueError("stripes must be at least 1")
+            raise ConfigurationError("stripes must be at least 1")
         self.inner = database
         self._max_entries = max_entries
         self._inference = inference
@@ -515,7 +532,7 @@ class HistoryLayer:
                 # stripe, so the stripe-local size IS the cache size and the
                 # evicted entry is the globally oldest one.
                 if self._max_entries is not None and len(stripe.responses) >= self._max_entries:
-                    self._evict_oldest(stripe)
+                    self._evict_oldest_locked(stripe)
             else:
                 # Reclassify cleanly on overwrite.
                 stripe.valid_keys.pop(key, None)
@@ -527,15 +544,26 @@ class HistoryLayer:
                 stripe.valid_keys[key] = None
 
     @staticmethod
-    def _evict_oldest(stripe: _Stripe) -> None:
+    def _evict_oldest_locked(stripe: _Stripe) -> None:
         """Drop the stripe's least recently *inserted* entry — O(1) bookkeeping.
 
-        (Called with the stripe lock held.)
+        (The ``_locked`` suffix is the reprolint R1 convention: the caller
+        holds ``stripe.lock`` for the whole call.)
         """
         oldest_key = next(iter(stripe.responses))
         del stripe.responses[oldest_key]
         stripe.valid_keys.pop(oldest_key, None)
         stripe.empty_keys.pop(oldest_key, None)
+
+    def snapshot(self) -> HistoryStatistics:
+        """A point-in-time copy of the savings counters, taken under the lock.
+
+        Concurrent submissions update the live object; reading it field by
+        field can observe a half-applied update, so dashboards and service
+        endpoints report from this copy instead.
+        """
+        with self._stats_lock:
+            return replace(self.statistics)
 
     def clear(self) -> None:
         """Forget every cached response (statistics are kept)."""

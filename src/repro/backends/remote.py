@@ -60,7 +60,7 @@ from urllib.parse import urlsplit
 from repro.database.interface import InterfaceResponse
 from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Schema
-from repro.exceptions import FormParseError, TransientBackendError
+from repro.exceptions import ConfigurationError, FormParseError, TransientBackendError
 from repro.web.httpd import API_SCHEMA_PATH, API_SUBMIT_BATCH_PATH, API_SUBMIT_PATH
 from repro.web.jsoncodec import (
     batch_request_to_dict,
@@ -101,9 +101,18 @@ class _ConnectionPool:
     benchmark measures pooling against).
     """
 
+    #: Machine-checked by reprolint R1 (guarded-state): the idle list and the
+    #: reuse counters are only mutated while ``_lock`` is held.
+    _guarded_by = {
+        "_idle": "_lock",
+        "opened": "_lock",
+        "reused": "_lock",
+        "stale_reconnects": "_lock",
+    }
+
     def __init__(self, scheme: str, host: str, port: int, timeout: float, size: int) -> None:
         if size < 0:
-            raise ValueError("pool_size must be non-negative")
+            raise ConfigurationError("pool_size must be non-negative")
         self._scheme = scheme
         self._host = host
         self._port = port
@@ -200,11 +209,11 @@ class RemoteBackend:
         connect_backoff: float = 0.05,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
-            raise ValueError(f"base_url must be an http(s) URL, got {base_url!r}")
+            raise ConfigurationError(f"base_url must be an http(s) URL, got {base_url!r}")
         if connect_retries < 0:
-            raise ValueError("connect_retries must be non-negative")
+            raise ConfigurationError("connect_retries must be non-negative")
         if connect_backoff < 0:
-            raise ValueError("connect_backoff must be non-negative")
+            raise ConfigurationError("connect_backoff must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         split = urlsplit(self.base_url)

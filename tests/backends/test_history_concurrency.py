@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.backends import HistoryLayer, QueryEngineBackend
 from repro.database.interface import HiddenDatabaseInterface
+from repro.exceptions import ConfigurationError
 from repro.database.query import ConjunctiveQuery
 from repro.database.ranking import HashRanking, StaticScoreRanking
 
@@ -267,7 +268,7 @@ class TestStripingConfiguration:
         assert HistoryLayer(tiny_interface).stripes > 1
 
     def test_stripes_must_be_positive(self, tiny_interface):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             HistoryLayer(tiny_interface, stripes=0)
 
     def test_single_stripe_still_coalesces_concurrent_submits(self, tiny_table, tiny_schema):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.history import CachedResponseSource, QueryHistoryCache
+from repro.exceptions import ConfigurationError
 from repro.database.interface import HiddenDatabaseInterface
 from repro.database.query import ConjunctiveQuery
 
@@ -112,11 +113,11 @@ class TestCacheMaintenance:
         assert tiny_interface.statistics.queries_issued == issued + 1
 
     def test_max_entries_must_be_positive(self, tiny_interface):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             QueryHistoryCache(tiny_interface, max_entries=0)
 
     def test_inference_mode_is_validated(self, tiny_interface):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             QueryHistoryCache(tiny_interface, inference="magic")
 
     def test_eviction_keeps_key_indexes_consistent(self, tiny_interface, tiny_schema):

@@ -240,7 +240,7 @@ class TestRemoteRoundTrip:
         assert responses == [oracle.submit(q) for q in queries]
 
     def test_non_http_url_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             RemoteBackend("ftp://example.com")
 
 
