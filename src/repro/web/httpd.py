@@ -47,7 +47,12 @@ from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
-from repro.exceptions import FormParseError, PageNotFoundError
+from repro.exceptions import (
+    ConfigurationError,
+    FormParseError,
+    PageNotFoundError,
+    ReproError,
+)
 from repro.web.jsoncodec import (
     batch_request_from_dict,
     batch_response_to_dict,
@@ -88,7 +93,11 @@ class _Handler(BaseHTTPRequestHandler):
         # error responses, while a write failure on the already-started
         # response (client gone) is terminal for the connection and must
         # never trigger a second response on the same stream.
-        self._respond(*self._route())
+        try:
+            response = self._route()
+        except Exception as error:  # reprolint: disable=R3 — the one last-resort 500: a dead handler thread closes the socket with no status line, which clients misread as "unreachable"
+            response = self._error_response(error)
+        self._respond(*response)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         # An error answered before the request body was consumed (oversized
@@ -97,11 +106,20 @@ class _Handler(BaseHTTPRequestHandler):
         # parsed out of the leftovers.  Closing the connection — and saying
         # so — keeps the stream honest; the client's pool just reconnects.
         self._body_consumed = False
-        status, body, content_type, headers = self._route_post()
+        try:
+            status, body, content_type, headers = self._route_post()
+        except Exception as error:  # reprolint: disable=R3 — same last-resort 500 as do_GET
+            status, body, content_type, headers = self._error_response(error)
         if status >= 400 and not self._body_consumed:
             headers["Connection"] = "close"
             self.close_connection = True
         self._respond(status, body, content_type, headers)
+
+    def _error_response(self, error: Exception) -> tuple[int, bytes, str, dict]:
+        """Map any fault onto its status-code home (429 keeps Retry-After)."""
+        status, payload = error_to_payload(error)
+        headers: dict = {"Retry-After": "1"} if status == 429 else {}
+        return status, json.dumps(payload).encode("utf-8"), "application/json", headers
 
     def _respond(self, status: int, body: bytes, content_type: str, headers: dict) -> None:
         self.server.endpoint.count_request(status)
@@ -132,11 +150,10 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 page = endpoint.page(self.path)
                 return 200, page.encode("utf-8"), "text/html; charset=utf-8", headers
-        except Exception as error:  # noqa: BLE001 - a server must always answer
-            # Every library fault has a status-code home; anything else is a
-            # 500 carrying the real message — without this the handler thread
-            # would die and the socket close with no status line, which the
-            # client would misread as "unreachable" and burn retries on.
+        except ReproError as error:
+            # Every library fault has a status-code home; anything *untyped*
+            # escaping here is a bug and surfaces through the last-resort
+            # 500 handler in do_GET, where it stays visible.
             status, payload = error_to_payload(error)
             if status == 429:
                 headers["Retry-After"] = "1"
@@ -152,7 +169,8 @@ class _Handler(BaseHTTPRequestHandler):
                 raise PageNotFoundError(split.path)
             payload = endpoint.submit_batch_payload(self._read_json_body())
             status = 200
-        except Exception as error:  # noqa: BLE001 - a server must always answer
+        except ReproError as error:
+            # Untyped faults escape to do_POST's last-resort 500 handler.
             status, payload = error_to_payload(error)
             if status == 429:
                 headers["Retry-After"] = "1"
@@ -212,6 +230,16 @@ class HiddenDatabaseHTTPServer:
             ...
     """
 
+    #: Machine-checked by reprolint R1 (guarded-state): the request counters
+    #: update under ``_lock`` (handler threads report concurrently), and the
+    #: lazily-created batch pool swaps only under its own dedicated lock.
+    _guarded_by = {
+        "requests_served": "_lock",
+        "fault_responses": "_lock",
+        "batch_items_served": "_lock",
+        "_batch_pool": "_batch_pool_lock",
+    }
+
     def __init__(
         self,
         backend: object,
@@ -221,7 +249,7 @@ class HiddenDatabaseHTTPServer:
         batch_workers: int = 8,
     ) -> None:
         if batch_workers < 1:
-            raise ValueError("batch_workers must be at least 1")
+            raise ConfigurationError("batch_workers must be at least 1")
         self.backend = backend
         #: The HTML dialect is served through an ordinary in-process site
         #: over the same backend, so both dialects answer identically.
