@@ -133,6 +133,16 @@ class BackendStack:
         layer = self.layer(StatisticsLayer)
         return layer.statistics if layer is not None else None
 
+    def statistics_snapshot(self) -> InterfaceStatistics | None:
+        """A locked point-in-time copy of the counters (``None`` when unlayered).
+
+        Concurrent submissions mutate the live object under the statistics
+        layer's lock; observers (dashboard, service endpoints) read this
+        copy so they never see a half-applied update.
+        """
+        layer = self.layer(StatisticsLayer)
+        return layer.snapshot() if layer is not None else None
+
     @property
     def budget(self) -> QueryBudget | None:
         """The query budget of this access path, if layered in."""
@@ -180,7 +190,14 @@ def introspect(backend: object) -> dict[str, object]:
     report: dict[str, object] = {
         "access_path": describe() if callable(describe) else type(backend).__name__,
     }
-    statistics = probe("statistics")
+    # Prefer the locked snapshot when the path offers one: the dashboard and
+    # the service render this report while submissions are in flight, and a
+    # field-by-field read of the live counters can catch a half-applied
+    # record() (reprolint R1's motivating read-side hazard).
+    snapshot_probe = getattr(stack, "statistics_snapshot", None)
+    statistics = snapshot_probe() if callable(snapshot_probe) else None
+    if statistics is None:
+        statistics = probe("statistics")
     report["statistics"] = statistics.as_dict() if statistics is not None else None
     budget = probe("budget")
     report["budget"] = (
@@ -189,7 +206,14 @@ def introspect(backend: object) -> dict[str, object]:
         else None
     )
     history = probe("history")
-    report["history"] = history.statistics.as_dict() if history is not None else None
+    if history is not None:
+        history_snapshot = getattr(history, "snapshot", None)
+        history_statistics = (
+            history_snapshot() if callable(history_snapshot) else history.statistics
+        )
+        report["history"] = history_statistics.as_dict()
+    else:
+        report["history"] = None
     return report
 
 

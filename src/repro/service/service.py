@@ -84,6 +84,15 @@ class SamplingService:
     *disable* history bypass both (see :meth:`submit`).
     """
 
+    #: Machine-checked by reprolint R1 (guarded-state): the lazily-created
+    #: shared history layers and the job registry (dict + id counter) are
+    #: only mutated under their locks — analysts submit concurrently.
+    _guarded_by = {
+        "_shared_history": "_shared_history_lock",
+        "_jobs": "_jobs_lock",
+        "_job_counter": "_jobs_lock",
+    }
+
     def __init__(
         self,
         backends: HiddenDatabase | str | Mapping[str, HiddenDatabase | str],
@@ -111,6 +120,10 @@ class SamplingService:
         self._shared_history_lock = threading.Lock()
         self._jobs: dict[str, SamplingJob] = {}
         self._job_counter = 0
+        # The docstring promise — concurrent analyst threads may submit —
+        # extends to the registry itself: id allocation and registration are
+        # one atomic step, or two threads could be handed the same job id.
+        self._jobs_lock = threading.Lock()
 
     # -- backends -------------------------------------------------------------------
 
@@ -197,17 +210,18 @@ class SamplingService:
         backend_name = backend or self._default_backend
         spec = spec or HDSamplerConfig()
         database = self._job_database(backend_name, use_history=spec.use_history)
-        if job_id is None:
-            job_id = self._next_job_id()
-        elif job_id in self._jobs:
-            raise ConfigurationError(f"job id {job_id!r} is already in use")
-        job = SamplingJob(
-            database,
-            spec,
-            job_id=job_id,
-            backend=backend_name,
-        )
-        self._jobs[job.job_id] = job
+        with self._jobs_lock:
+            if job_id is None:
+                job_id = self._next_job_id_locked()
+            elif job_id in self._jobs:
+                raise ConfigurationError(f"job id {job_id!r} is already in use")
+            job = SamplingJob(
+                database,
+                spec,
+                job_id=job_id,
+                backend=backend_name,
+            )
+            self._jobs[job.job_id] = job
         return job
 
     def adopt(self, snapshot: Mapping[str, object], backend: str | None = None) -> SamplingJob:
@@ -217,24 +231,27 @@ class SamplingService:
         — adopting never silently replaces live work.
         """
         backend_name = backend or snapshot.get("backend") or self._default_backend  # type: ignore[assignment]
-        snapshot_id = snapshot.get("job_id")
-        if snapshot_id in self._jobs:
-            raise ConfigurationError(f"job id {snapshot_id!r} is already in use")
         config = snapshot.get("config")
         use_history = bool(config.get("use_history", True)) if isinstance(config, Mapping) else True
-        job = SamplingJob.restore(
-            snapshot,
-            self._job_database(backend_name, use_history=use_history),
-            backend=backend_name,
-        )
-        self._jobs[job.job_id] = job
+        database = self._job_database(backend_name, use_history=use_history)
+        with self._jobs_lock:
+            snapshot_id = snapshot.get("job_id")
+            if snapshot_id in self._jobs:
+                raise ConfigurationError(f"job id {snapshot_id!r} is already in use")
+            job = SamplingJob.restore(
+                snapshot,
+                database,
+                backend=backend_name,
+            )
+            self._jobs[job.job_id] = job
         return job
 
-    def _next_job_id(self) -> str:
+    def _next_job_id_locked(self) -> str:
         """The next free auto-generated job id.
 
         Skips ids already registered, so adopting a checkpoint named
         ``job-1`` in a fresh process never collides with the counter.
+        (``_locked`` suffix: the caller holds ``_jobs_lock``.)
         """
         while True:
             self._job_counter += 1
@@ -264,9 +281,10 @@ class SamplingService:
 
     def forget(self, job_id: str) -> None:
         """Drop a job from the registry (its session is simply released)."""
-        if job_id not in self._jobs:
-            raise UnknownJobError(job_id, tuple(self._jobs))
-        del self._jobs[job_id]
+        with self._jobs_lock:
+            if job_id not in self._jobs:
+                raise UnknownJobError(job_id, tuple(self._jobs))
+            del self._jobs[job_id]
 
     # -- scheduling -------------------------------------------------------------------
 
@@ -329,7 +347,7 @@ class SamplingService:
         return {
             "backend": name or self._default_backend,
             **introspect(self.backend(name)),
-            "shared_history": shared.statistics.as_dict() if shared is not None else None,
+            "shared_history": shared.snapshot().as_dict() if shared is not None else None,
         }
 
     def describe(self) -> str:
