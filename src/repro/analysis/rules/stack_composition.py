@@ -7,10 +7,15 @@ statistics above retries recorded only the final outcome, hiding the fault
 rate the experiment was supposed to measure.  The fix was an ordering
 contract on ``repro/backends/stack.py``'s builders:
 
-    CountMode  <  Unreliable/retry  <  Budget  <  Statistics  <  History  <  Dispatch
+    CountMode  <  CircuitBreaker  <  Unreliable/retry  <  Budget  <  Statistics
+    <  History  <  Dispatch
 
 (bottom of the stack first: layers are listed innermost-first in ``_compose``
 and wrapped bottom-up, so *textual first mention* must follow stack order).
+The breaker sits below the retry layer for the same reason retries sit below
+the budget: each retry attempt is a real call the breaker's rolling failure
+window must see, and once the circuit opens the retry layer passes the
+fast-fail through rather than hammering a dead backend.
 
 The rule checks every function in the stack-builder modules (any file whose
 name is ``stack.py``): when a function's body mentions two or more of the
@@ -31,11 +36,12 @@ from repro.analysis.engine import Finding, ModuleSource, Rule
 #: must sit below budget/statistics so retries are charged and recorded.
 LAYER_RANKS: dict[str, int] = {
     "CountModeLayer": 0,
-    "UnreliableLayer": 1,
-    "BudgetLayer": 2,
-    "StatisticsLayer": 3,
-    "HistoryLayer": 4,
-    "DispatchLayer": 5,
+    "CircuitBreakerLayer": 1,
+    "UnreliableLayer": 2,
+    "BudgetLayer": 3,
+    "StatisticsLayer": 4,
+    "HistoryLayer": 5,
+    "DispatchLayer": 6,
 }
 
 #: Only composition modules are checked — layer *definitions* mention the
@@ -67,8 +73,8 @@ class StackCompositionRule(Rule):
     name = "stack-composition"
     rationale = (
         "retry layers above budget/statistics double-charge and under-count; "
-        "builders must compose CountMode < Unreliable < Budget < Statistics "
-        "< History < Dispatch"
+        "builders must compose CountMode < CircuitBreaker < Unreliable < "
+        "Budget < Statistics < History < Dispatch"
     )
 
     def check_module(self, module: ModuleSource) -> Iterable[Finding]:

@@ -39,10 +39,23 @@ from repro.backends.layers import (
     UnreliableStatistics,
 )
 from repro.backends.remote import RemoteBackend
+from repro.backends.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerLayer,
+    CircuitBreakerPolicy,
+    Deadline,
+    FailoverRouter,
+    Fault,
+    FaultSchedule,
+    current_deadline,
+    deadline_scope,
+)
 from repro.backends.shard import ShardRouter, TableShardBackend
 from repro.backends.stack import (
     BackendStack,
     engine_stack,
+    failover_stack,
     introspect,
     remote_stack,
     sharded_stack,
@@ -52,11 +65,19 @@ from repro.backends.stack import (
 __all__ = [
     "BackendLayer",
     "BackendStack",
+    "BreakerState",
     "BudgetLayer",
     "CachedResponseSource",
+    "CircuitBreaker",
+    "CircuitBreakerLayer",
+    "CircuitBreakerPolicy",
     "ConcurrentShardRouter",
     "CountModeLayer",
+    "Deadline",
     "DispatchLayer",
+    "FailoverRouter",
+    "Fault",
+    "FaultSchedule",
     "HistoryLayer",
     "HistoryStatistics",
     "QueryEngineBackend",
@@ -69,7 +90,10 @@ __all__ = [
     "UnreliableStatistics",
     "WebPageBackend",
     "build_returned_tuple",
+    "current_deadline",
+    "deadline_scope",
     "engine_stack",
+    "failover_stack",
     "introspect",
     "iter_chain",
     "remote_stack",

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 from repro.backends.base import BackendLayer, RawBackend
+from repro.backends.resilience import scoped_to_current_deadline
 from repro.backends.shard import MergeKey, ShardRouter
 from repro.database.interface import InterfaceResponse
 from repro.database.query import ConjunctiveQuery
@@ -134,11 +135,16 @@ class ConcurrentShardRouter(ShardRouter):
             buckets = self._partition(query)
             return list(
                 pool.map(
-                    lambda pair: pair[0].respond(query, pair[1]),
+                    scoped_to_current_deadline(lambda pair: pair[0].respond(query, pair[1])),
                     zip(self._shards, buckets),
                 )
             )
-        return list(pool.map(lambda shard: shard.submit(query), self._shards))
+        return list(
+            pool.map(
+                scoped_to_current_deadline(lambda shard: shard.submit(query)),
+                self._shards,
+            )
+        )
 
     def close(self) -> None:
         """Release the worker threads (the router stays usable; a new pool
@@ -206,7 +212,9 @@ class DispatchLayer(BackendLayer):
             return self._submit_chunked(queries)
         if len(queries) <= 1:
             return [self.inner.submit(query) for query in queries]
-        return list(self._pool.get().map(self.inner.submit, queries))
+        # The workers run outside the caller's contextvar scope, so the
+        # ambient deadline must travel with the callable.
+        return list(self._pool.get().map(scoped_to_current_deadline(self.inner.submit), queries))
 
     def submit_outcomes(
         self, queries: Sequence[ConjunctiveQuery]
@@ -229,7 +237,8 @@ class DispatchLayer(BackendLayer):
                 return forward_outcomes(self.inner, queries)
             merged: list[InterfaceResponse | Exception] = []
             for outcomes in self._pool.get().map(
-                lambda chunk: forward_outcomes(self.inner, chunk), chunks
+                scoped_to_current_deadline(lambda chunk: forward_outcomes(self.inner, chunk)),
+                chunks,
             ):
                 merged.extend(outcomes)
             return merged
@@ -238,7 +247,8 @@ class DispatchLayer(BackendLayer):
         return [
             outcome
             for outcomes in self._pool.get().map(
-                lambda query: forward_outcomes(self.inner, [query]), queries
+                scoped_to_current_deadline(lambda query: forward_outcomes(self.inner, [query])),
+                queries,
             )
             for outcome in outcomes
         ]
@@ -254,7 +264,8 @@ class DispatchLayer(BackendLayer):
             return forward_many(self.inner, queries)
         merged: list[InterfaceResponse] = []
         for responses in self._pool.get().map(
-            lambda chunk: forward_many(self.inner, chunk), chunks
+            scoped_to_current_deadline(lambda chunk: forward_many(self.inner, chunk)),
+            chunks,
         ):
             merged.extend(responses)
         return merged

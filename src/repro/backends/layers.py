@@ -27,12 +27,25 @@ import threading
 import time
 from typing import Sequence
 
-from repro._rng import resolve_rng
+from repro._rng import resolve_rng, spawn_rng
 from repro.backends.base import BackendLayer, RawBackend, forward_many, forward_outcomes
+from repro.backends.resilience import (
+    Deadline,
+    Fault,
+    FaultSchedule,
+    backoff_delay,
+    current_deadline,
+)
 from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
 from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
-from repro.exceptions import InterfaceError, RateLimitedError, TransientBackendError
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InterfaceError,
+    RateLimitedError,
+    TransientBackendError,
+)
 
 
 class BudgetLayer(BackendLayer):
@@ -232,6 +245,8 @@ class UnreliableStatistics:
     backend_rate_limited: int = 0        #: real rate-limit rejections raised by the inner backend
     retries: int = 0             #: attempts re-issued after a fault of either origin
     gave_up: int = 0             #: submissions that failed even after retrying
+    injected_drops: int = 0      #: injected (scripted) connection drops
+    deadline_exceeded: int = 0   #: submissions abandoned because their deadline ran out
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view used by reports and benchmarks."""
@@ -261,11 +276,28 @@ class UnreliableLayer(BackendLayer):
     injection parameters at their defaults the layer is a pure retry layer —
     what :func:`~repro.backends.stack.remote_stack` builds on.
 
-    ``retry_backoff`` sleeps ``retry_backoff * 2**(attempt-1)`` seconds
-    before each re-attempt (0 disables, the right setting for in-process
-    chaos tests); ``latency`` sleeps before every forwarded attempt,
-    simulating a network round-trip — how ``benchmarks/bench_dispatch.py``
-    makes shard fan-out latency-bound without a socket.
+    ``retry_backoff`` starts an exponential backoff before each re-attempt
+    (0 disables, the right setting for in-process chaos tests), ceilinged at
+    ``max_backoff`` and — when backoff is enabled — fully jittered through a
+    generator spawned off this layer's seed (deterministic per seed, but
+    desynchronised across clients; see
+    :func:`repro.backends.resilience.backoff_delay`).  A server-supplied
+    ``retry_after`` hint on the fault is preferred over the computed backoff,
+    and every sleep respects the ambient
+    :class:`~repro.backends.resilience.Deadline`: a sleep that would outlive
+    the remaining budget raises
+    :class:`~repro.exceptions.DeadlineExceededError` instead.
+    :class:`~repro.exceptions.CircuitOpenError` from beneath is *never*
+    retried — retrying an open circuit is the hammering the breaker exists
+    to stop.  ``latency`` sleeps before every forwarded attempt, simulating
+    a network round-trip — how ``benchmarks/bench_dispatch.py`` makes shard
+    fan-out latency-bound without a socket.
+
+    ``schedule`` replaces the probabilistic fault menu with a *scripted*
+    :class:`~repro.backends.resilience.FaultSchedule`: entry *i* decides the
+    *i*-th forwarded attempt verbatim (transient fault, rate limit with
+    hint, connection drop, latency spike), so breaker transitions and
+    deadline behaviour are testable deterministically without a socket.
     """
 
     #: Machine-checked by reprolint R1 (guarded-state): the chaos counters and
@@ -281,7 +313,9 @@ class UnreliableLayer(BackendLayer):
         max_retries: int = 3,
         seed: int | random.Random | None = 0,
         retry_backoff: float = 0.0,
+        max_backoff: float | None = None,
         latency: float = 0.0,
+        schedule: FaultSchedule | Sequence[Fault | str] | None = None,
     ) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise InterfaceError("failure_rate must be in [0, 1)")
@@ -291,14 +325,25 @@ class UnreliableLayer(BackendLayer):
             raise InterfaceError("max_retries must be non-negative")
         if retry_backoff < 0 or latency < 0:
             raise InterfaceError("retry_backoff and latency must be non-negative")
+        if max_backoff is not None and max_backoff < 0:
+            raise InterfaceError("max_backoff must be non-negative when given")
         super().__init__(inner)
         self.failure_rate = failure_rate
         self.rate_limit_every = rate_limit_every
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
         self.latency = latency
+        if schedule is None or isinstance(schedule, FaultSchedule):
+            self.schedule = schedule
+        else:
+            self.schedule = FaultSchedule(schedule)
         self.statistics = UnreliableStatistics()
         self._rng = resolve_rng(seed)
+        # The jitter stream is spawned (not shared) and only when backoff is
+        # enabled, so zero-backoff configs keep their exact historical
+        # fault-injection RNG stream.
+        self._backoff_rng = spawn_rng(self._rng, "backoff") if retry_backoff > 0.0 else None
         self._since_rate_limit = 0
         # Counter updates and the injection schedule (_since_rate_limit, the
         # RNG) are read-modify-write on shared state; the lock keeps the
@@ -309,22 +354,37 @@ class UnreliableLayer(BackendLayer):
 
     def submit(self, query: ConjunctiveQuery) -> InterfaceResponse:
         last_error: Exception | None = None
+        deadline = current_deadline()
         for attempt in range(self.max_retries + 1):
             if attempt > 0:
                 with self._lock:
                     self.statistics.retries += 1
-                if self.retry_backoff > 0.0:
-                    time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+                    delay = self._retry_delay_locked(attempt, last_error)
+                self._sleep_within_deadline(delay, deadline)
+            elif deadline is not None and deadline.expired:
+                with self._lock:
+                    self.statistics.deadline_exceeded += 1
+                deadline.check("submission")
+            scripted = self.schedule.next_fault() if self.schedule is not None else None
+            if scripted is not None and scripted.latency > 0.0:
+                time.sleep(scripted.latency)
             if self.latency > 0.0:
                 time.sleep(self.latency)
             with self._lock:
                 self.statistics.attempts += 1
-                error = self._inject_fault_locked()
+                if scripted is not None:
+                    error = self._record_scripted_locked(scripted)
+                else:
+                    error = self._inject_fault_locked()
             if error is not None:
                 last_error = error
                 continue
             try:
                 return self.inner.submit(query)
+            except CircuitOpenError:
+                # An open circuit beneath fails fast on purpose; retrying it
+                # is exactly the hammering the breaker exists to stop.
+                raise
             except RateLimitedError as backend_error:
                 with self._lock:
                     self.statistics.backend_rate_limited += 1
@@ -366,30 +426,61 @@ class UnreliableLayer(BackendLayer):
             return []
         results: list[InterfaceResponse | Exception | None] = [None] * len(queries)
         retryable = list(range(len(queries)))
+        deadline = current_deadline()
         for attempt in range(self.max_retries + 1):
             if attempt > 0:
                 with self._lock:
                     self.statistics.retries += len(retryable)
-                if self.retry_backoff > 0.0:
-                    time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+                    delay = self._retry_delay_locked(
+                        attempt, self._batch_hint_error(results, retryable)
+                    )
+                try:
+                    self._sleep_within_deadline(delay, deadline)
+                except DeadlineExceededError as expired:
+                    # Per-item contract: the budget running out mid-batch is
+                    # reported on the items still waiting, not thrown at the
+                    # items already answered.
+                    for index in retryable:
+                        results[index] = expired
+                    return results  # type: ignore[return-value] - every slot is filled
+            elif deadline is not None and deadline.expired:
+                with self._lock:
+                    self.statistics.deadline_exceeded += 1
+                expired_error = DeadlineExceededError(
+                    "batch submission", remaining_ms=deadline.remaining_ms()
+                )
+                return [expired_error] * len(queries)
             if self.latency > 0.0:
                 time.sleep(self.latency)  # one batch = one simulated round-trip
             issue: list[int] = []
             injected: list[int] = []
+            spike = 0.0
             for index in retryable:
+                scripted = self.schedule.next_fault() if self.schedule is not None else None
+                if scripted is not None:
+                    spike = max(spike, scripted.latency)
                 with self._lock:
                     self.statistics.attempts += 1
-                    fault = self._inject_fault_locked()
+                    if scripted is not None:
+                        fault = self._record_scripted_locked(scripted)
+                    else:
+                        fault = self._inject_fault_locked()
                 if fault is None:
                     issue.append(index)
                 else:
                     results[index] = fault
                     injected.append(index)
+            if spike > 0.0:
+                time.sleep(spike)  # the batch is as slow as its slowest item
             outcomes = self._forward_batch([queries[index] for index in issue])
             still_retryable = list(injected)
             for index, outcome in zip(issue, outcomes):
                 results[index] = outcome
-                if isinstance(outcome, RateLimitedError):
+                if isinstance(outcome, CircuitOpenError):
+                    # Fail-fast by design: reported as-is, never retried.
+                    with self._lock:
+                        self.statistics.backend_transient_failures += 1
+                elif isinstance(outcome, RateLimitedError):
                     with self._lock:
                         self.statistics.backend_rate_limited += 1
                     still_retryable.append(index)
@@ -448,3 +539,68 @@ class UnreliableLayer(BackendLayer):
             self.statistics.transient_failures += 1
             return TransientBackendError()
         return None
+
+    def _record_scripted_locked(self, fault: Fault) -> Exception | None:
+        # Caller holds ``self._lock`` (reprolint R1 convention).  The scripted
+        # counterpart of :meth:`_inject_fault_locked`: count the fault under
+        # the matching counter and materialise its typed exception.
+        error = fault.error()
+        if fault.kind == "rate_limit":
+            self.statistics.rate_limited += 1
+        elif fault.kind == "drop":
+            self.statistics.injected_drops += 1
+        elif fault.kind == "transient":
+            self.statistics.transient_failures += 1
+        return error
+
+    def _retry_delay_locked(self, attempt: int, last_error: Exception | None) -> float:
+        # Caller holds ``self._lock`` (the jitter draw mutates shared RNG
+        # state).  A server-supplied Retry-After hint beats the computed
+        # backoff: the server knows when it will answer again; our exponential
+        # curve is only a guess.
+        if isinstance(last_error, TransientBackendError) and last_error.retry_after is not None:
+            return last_error.retry_after
+        return backoff_delay(
+            self.retry_backoff, attempt - 1, self.max_backoff, self._backoff_rng
+        )
+
+    def _batch_hint_error(
+        self,
+        results: Sequence["InterfaceResponse | Exception | None"],
+        retryable: Sequence[int],
+    ) -> Exception | None:
+        """The retryable item carrying the largest server Retry-After hint.
+
+        One sleep covers the whole re-issued batch, so the batch must wait
+        out the most-throttled item — sleeping any less would re-send that
+        item early, exactly what the server asked us not to do.
+        """
+        hinted: Exception | None = None
+        largest = -1.0
+        for index in retryable:
+            outcome = results[index]
+            if (
+                isinstance(outcome, TransientBackendError)
+                and outcome.retry_after is not None
+                and outcome.retry_after > largest
+            ):
+                hinted = outcome
+                largest = outcome.retry_after
+        return hinted
+
+    def _sleep_within_deadline(self, delay: float, deadline: Deadline | None) -> None:
+        """Sleep ``delay`` seconds — unless the deadline forbids it.
+
+        A sleep that would consume the entire remaining budget (or a budget
+        already spent) raises :class:`DeadlineExceededError` immediately:
+        there would be no time left to actually use the retry the sleep was
+        buying.
+        """
+        if deadline is not None and (deadline.expired or delay >= deadline.remaining()):
+            with self._lock:
+                self.statistics.deadline_exceeded += 1
+            raise DeadlineExceededError(
+                "retry backoff", remaining_ms=deadline.remaining_ms()
+            )
+        if delay > 0.0:
+            time.sleep(delay)

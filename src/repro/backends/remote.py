@@ -57,11 +57,24 @@ import time
 from typing import Sequence
 from urllib.parse import urlsplit
 
+from repro._rng import resolve_rng, stable_hash
+from repro.backends.resilience import DEADLINE_HEADER, backoff_delay, current_deadline
 from repro.database.interface import InterfaceResponse
 from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Schema
-from repro.exceptions import ConfigurationError, FormParseError, TransientBackendError
-from repro.web.httpd import API_SCHEMA_PATH, API_SUBMIT_BATCH_PATH, API_SUBMIT_PATH
+from repro.exceptions import (
+    ConfigurationError,
+    ConnectionDroppedError,
+    DeadlineExceededError,
+    FormParseError,
+    TransientBackendError,
+)
+from repro.web.httpd import (
+    API_HEALTH_PATH,
+    API_SCHEMA_PATH,
+    API_SUBMIT_BATCH_PATH,
+    API_SUBMIT_PATH,
+)
 from repro.web.jsoncodec import (
     batch_request_to_dict,
     batch_response_from_dict,
@@ -74,6 +87,11 @@ from repro.web.urlcodec import encode_query
 #: Default bound on kept-alive connections per backend: enough for the
 #: dispatch pools this repo runs (4–8 workers) without hoarding sockets.
 DEFAULT_POOL_SIZE = 8
+
+#: Ceiling on the construction-time connect backoff, seconds.  Without a cap
+#: the exponential curve reaches minutes within a dozen attempts — far past
+#: the point where waiting longer tells us anything new about the server.
+MAX_CONNECT_BACKOFF = 2.0
 
 
 class _PooledConnection:
@@ -228,6 +246,10 @@ class RemoteBackend:
             timeout,
             pool_size,
         )
+        # Jitter for the connect backoff: deterministic (R4) but seeded per
+        # endpoint, so a fleet of clients hammering one restarting server
+        # desynchronises instead of re-arriving in lockstep.
+        self._backoff_rng = resolve_rng(stable_hash(self.base_url) & 0x7FFFFFFF)
         self._schema, self._k = schema_from_dict(
             self._fetch_schema(connect_retries, connect_backoff)
         )
@@ -286,6 +308,18 @@ class RemoteBackend:
             )
         return outcomes
 
+    def health(self) -> dict:
+        """One ``GET /api/health`` probe; the decoded report on success.
+
+        A degraded server (some circuit in its served chain is open) answers
+        503, which raises :class:`~repro.exceptions.TransientBackendError`
+        carrying the server's ``Retry-After`` hint — exactly the signal
+        :class:`~repro.backends.resilience.FailoverRouter.check_health` feeds
+        into its per-target breakers.  An unreachable server raises the same
+        way a failed submit would.
+        """
+        return self._request_json("GET", API_HEALTH_PATH)
+
     @property
     def pool_statistics(self) -> dict[str, int]:
         """Connection-reuse counters (opened / reused / stale_reconnects / idle)."""
@@ -316,13 +350,19 @@ class RemoteBackend:
             except TransientBackendError:
                 if attempt == connect_retries:
                     raise
-                if connect_backoff > 0.0:
-                    time.sleep(connect_backoff * 2**attempt)
+                delay = backoff_delay(
+                    connect_backoff,
+                    attempt,
+                    max_backoff=MAX_CONNECT_BACKOFF,
+                    rng=self._backoff_rng,
+                )
+                if delay > 0.0:
+                    time.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_json(self, method: str, path: str, body: bytes | None = None) -> dict:
         """One pooled round-trip, JSON-decoded; faults raise typed errors."""
-        status, raw_body = self._request(method, path, body)
+        status, raw_body, retry_after = self._request(method, path, body)
         if status >= 400:
             # A fault status translates by status even when the body is not
             # ours (a proxy's HTML 502 page must stay transient, not morph
@@ -331,7 +371,9 @@ class RemoteBackend:
                 payload = json.loads(raw_body.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 payload = {}
-            raise error_from_payload(status, payload if isinstance(payload, dict) else {})
+            raise error_from_payload(
+                status, payload if isinstance(payload, dict) else {}, retry_after
+            )
         try:
             payload = json.loads(raw_body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:
@@ -360,20 +402,41 @@ class RemoteBackend:
         BrokenPipeError,
     )
 
-    def _request(self, method: str, path: str, body: bytes | None) -> tuple[int, bytes]:
-        """Send one request over a pooled connection; returns (status, body).
+    def _request(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, bytes, float | None]:
+        """Send one request over a pooled connection.
+
+        Returns ``(status, body, retry_after)`` — the last being the parsed
+        ``Retry-After`` header (seconds) when the server sent one.
 
         A *reused* keep-alive connection may have been closed server-side
         while idle; a failure proving no response was ever produced (see
         :data:`_STALE_ERRORS`) is retried on a fresh connection before
-        surfacing as :class:`~repro.exceptions.TransientBackendError`.
+        surfacing as :class:`~repro.exceptions.ConnectionDroppedError`.
+
+        When the caller runs under a deadline scope, the remaining budget is
+        enforced at the transport: an already-expired deadline raises before
+        any byte is sent, the remaining milliseconds travel in the
+        ``X-Repro-Deadline-Ms`` header so the server can shed expired work,
+        and the socket timeout is clipped so this client never blocks on a
+        read longer than the budget allows.
         """
         headers = {"Accept": "application/json"}
         if body is not None:
             headers["Content-Type"] = "application/json"
+        deadline = current_deadline()
+        if deadline is not None:
+            if deadline.expired:
+                raise DeadlineExceededError("remote request", remaining_ms=0)
+            headers[DEADLINE_HEADER] = str(deadline.remaining_ms())
         target = self._path_prefix + path
         while True:
             connection = self._pool.acquire()
+            if deadline is not None and connection.raw.sock is not None:
+                # Never block on the socket past the budget: the tighter of
+                # the configured timeout and the remaining deadline wins.
+                connection.raw.sock.settimeout(deadline.clip(self.timeout))
             try:
                 connection.raw.request(method, target, body=body, headers=headers)
                 response = connection.raw.getresponse()
@@ -386,11 +449,33 @@ class RemoteBackend:
                     # retry on a fresh connection tells a stale socket apart
                     # from a dead server.
                     continue
-                raise TransientBackendError(
+                raise ConnectionDroppedError(
                     f"remote backend dropped the connection: {type(error).__name__}: {error}"
                 ) from error
+            if deadline is not None and connection.raw.sock is not None:
+                # Restore the configured timeout before the socket returns to
+                # the pool — the clipped value must not leak into requests
+                # running under a different (or no) deadline.
+                connection.raw.sock.settimeout(self.timeout)
             self._pool.release(connection, reusable=not response.will_close)
-            return response.status, raw_body
+            return response.status, raw_body, self._retry_after_header(response)
+
+    @staticmethod
+    def _retry_after_header(response: http.client.HTTPResponse) -> float | None:
+        """The ``Retry-After`` header as seconds, or ``None``.
+
+        Only the delay-seconds form is parsed (integers per the RFC, decimals
+        because our own server sends them); the HTTP-date form — which no
+        server in this repo emits — is ignored rather than guessed at.
+        """
+        raw = response.getheader("Retry-After")
+        if raw is None:
+            return None
+        try:
+            seconds = float(raw.strip())
+        except ValueError:
+            return None
+        return seconds if seconds >= 0 else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RemoteBackend(base_url={self.base_url!r}, k={self._k})"

@@ -195,12 +195,22 @@ class ShardRouter:
         k: int,
         ranking: RankingFunction | None = None,
         display_columns: Sequence[str] = (),
+        shard_layer: Callable[[object], object] | None = None,
     ) -> "ShardRouter":
         """Partition ``table`` into ``n_shards`` backends sharing one index.
 
         The shards and the router's merge key all use the table's single
         :class:`TableIndex` and one memoised rank order, so the router's
         responses are identical to an unsharded backend over the same table.
+
+        ``shard_layer`` wraps each partition backend before it reaches the
+        router — e.g. ``lambda shard: CircuitBreakerLayer(shard)`` gives every
+        shard its *own* circuit, so one dead partition trips only its own
+        breaker while its siblings keep answering.  Wrapped shards take the
+        independent scatter path (the shared-index fast path needs bare
+        :class:`TableShardBackend` instances), which is exactly what a
+        per-shard reliability layer needs: each ``shard.submit`` is a real
+        call the wrapper observes.
         """
         ranking = ranking if ranking is not None else RowIdRanking()
         shards = [
@@ -210,7 +220,14 @@ class ShardRouter:
             )
             for shard_index in range(n_shards)
         ]
-        return cls(shards, merge_key=lambda t: shards[0].rank_position(t.tuple_id))
+        merge_key = lambda t: shards[0].rank_position(t.tuple_id)  # noqa: E731
+        if shard_layer is not None:
+            router = cls([shard_layer(shard) for shard in shards], merge_key=merge_key)
+            # Layers do not forward ``display_columns``; re-advertise what the
+            # bare shards would have exposed.
+            router.display_columns = tuple(display_columns)
+            return router
+        return cls(shards, merge_key=merge_key)
 
     # -- RawBackend contract -------------------------------------------------
 

@@ -38,6 +38,12 @@ from repro.backends.adapters import QueryEngineBackend, WebPageBackend
 from repro.backends.base import RawBackend, iter_chain
 from repro.backends.history import HistoryLayer
 from repro.backends.layers import BudgetLayer, CountModeLayer, StatisticsLayer, UnreliableLayer
+from repro.backends.resilience import (
+    CircuitBreakerLayer,
+    CircuitBreakerPolicy,
+    FailoverRouter,
+    resilience_report,
+)
 from repro.database.interface import CountMode, InterfaceResponse, InterfaceStatistics
 from repro.database.limits import QueryBudget
 from repro.database.query import ConjunctiveQuery
@@ -214,6 +220,11 @@ def introspect(backend: object) -> dict[str, object]:
         report["history"] = history_statistics.as_dict()
     else:
         report["history"] = None
+    # Breaker / failover state anywhere in the chain (None when the path
+    # carries no resilience nodes), same walking rules as the layers above.
+    resilience = resilience_report(backend)
+    report["breakers"] = resilience.get("breakers") if resilience else None
+    report["failover"] = resilience.get("failover") if resilience else None
     return report
 
 
@@ -359,10 +370,12 @@ def remote_stack(
     statistics: bool = True,
     max_retries: int = 3,
     retry_backoff: float = 0.05,
+    max_backoff: float | None = 1.0,
     timeout: float = 10.0,
     parallel: int | None = None,
     batch: int | None = None,
     pool_size: int | None = None,
+    breaker: CircuitBreakerPolicy | bool | None = None,
 ) -> BackendStack:
     """A remote HTTP endpoint behind the same layer stack as the local paths.
 
@@ -392,7 +405,19 @@ def remote_stack(
     Retries sit *below* the budget and statistics layers: a submission that
     needed three attempts still charges one budgeted query and counts once —
     the client asked once; the weather is the retry layer's business (its
-    ``statistics`` records it).
+    ``statistics`` records it).  Backoff sleeps are capped at ``max_backoff``
+    and fully jittered, prefer a server ``Retry-After`` hint, and respect the
+    ambient :class:`~repro.backends.resilience.Deadline` when the caller
+    carries one.
+
+    ``breaker`` slots a
+    :class:`~repro.backends.resilience.CircuitBreakerLayer` directly above
+    the remote adapter — *below* the retry layer, so each retry attempt is a
+    real call the rolling failure window sees, and once the circuit opens
+    the retry layer passes the fast-fail straight through instead of
+    hammering a dead server.  ``True`` uses the default
+    :class:`~repro.backends.resilience.CircuitBreakerPolicy`; pass a policy
+    to tune the window; ``None`` (default) omits the layer.
     """
     from repro.backends.remote import RemoteBackend
 
@@ -404,8 +429,73 @@ def remote_stack(
     if pool_size is not None:
         remote_kwargs["pool_size"] = pool_size
     raw = RemoteBackend(url, **remote_kwargs)
+    inner_layers: list[LayerFactory] = []
+    if breaker:
+        policy = breaker if isinstance(breaker, CircuitBreakerPolicy) else None
+        inner_layers.append(lambda inner: CircuitBreakerLayer(inner, policy=policy))
     retry: LayerFactory = lambda inner: UnreliableLayer(
-        inner, max_retries=max_retries, retry_backoff=retry_backoff
+        inner, max_retries=max_retries, retry_backoff=retry_backoff, max_backoff=max_backoff
+    )
+    inner_layers.append(retry)
+    return _compose(
+        raw,
+        count_mode=None,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+        statistics=statistics,
+        parallel=parallel,
+        batch=batch,
+        inner_layers=tuple(inner_layers),
+    )
+
+
+def failover_stack(
+    urls: Sequence[str],
+    budget: QueryBudget | None = None,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+    max_retries: int = 3,
+    retry_backoff: float = 0.05,
+    max_backoff: float | None = 1.0,
+    timeout: float = 10.0,
+    parallel: int | None = None,
+    batch: int | None = None,
+    pool_size: int | None = None,
+    policy: CircuitBreakerPolicy | None = None,
+) -> BackendStack:
+    """Primary-plus-replicas behind the same layer stack as :func:`remote_stack`.
+
+    The raw backend is a :class:`~repro.backends.resilience.FailoverRouter`
+    over one :class:`~repro.backends.remote.RemoteBackend` per URL (first URL
+    is the primary).  Each target sits behind its own circuit breaker
+    (``policy`` tunes all of them): a dead primary trips its breaker, traffic
+    fails over to the replicas in microseconds, and half-open probes —
+    driven by real submissions or by the router's ``check_health()`` against
+    ``GET /api/health`` — steer it back the moment the primary recovers.
+
+    The usual retry layer sits above the router, so a transient that
+    exhausted *every* target is still retried with capped, jittered,
+    deadline-respecting backoff; budget and statistics sit above that and
+    charge/count each logical submission once no matter how many targets or
+    attempts it took.
+    """
+    from repro.backends.remote import RemoteBackend
+
+    if not urls:
+        raise ConfigurationError("failover_stack needs at least one URL")
+    remote_kwargs: dict = {
+        "timeout": timeout,
+        "connect_retries": max_retries,
+        "connect_backoff": retry_backoff,
+    }
+    if pool_size is not None:
+        remote_kwargs["pool_size"] = pool_size
+    targets = [RemoteBackend(url, **remote_kwargs) for url in urls]
+    raw = FailoverRouter(targets[0], targets[1:], policy=policy)
+    retry: LayerFactory = lambda inner: UnreliableLayer(
+        inner, max_retries=max_retries, retry_backoff=retry_backoff, max_backoff=max_backoff
     )
     return _compose(
         raw,

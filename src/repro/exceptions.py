@@ -81,7 +81,14 @@ class TransientBackendError(InterfaceError):
 
     The in-process analogue of a timeout or a 5xx from a real hidden
     database; raised by :class:`repro.backends.layers.UnreliableLayer`.
+
+    ``retry_after`` — when not ``None`` — is the server's own hint (seconds)
+    of when a retry is worth attempting; retry layers prefer it over their
+    computed backoff.
     """
+
+    #: Server-provided retry hint in seconds (``Retry-After``), when any.
+    retry_after: float | None = None
 
     def __init__(self, message: str = "transient backend failure") -> None:
         super().__init__(message)
@@ -90,14 +97,73 @@ class TransientBackendError(InterfaceError):
 class RateLimitedError(TransientBackendError):
     """The backend (really: the chaos layer) rejected the request as too fast.
 
-    The in-process analogue of an HTTP 429.
+    The in-process analogue of an HTTP 429.  ``retry_after`` carries the
+    server's ``Retry-After`` hint in seconds when the rejection crossed a
+    wire; retry layers sleep that long instead of their computed backoff.
     """
 
-    def __init__(self, every: int | None = None) -> None:
+    def __init__(self, every: int | None = None, retry_after: float | None = None) -> None:
         self.every = every
+        self.retry_after = retry_after
         message = "request rejected by rate limiting"
         if every is not None:
             message += f" (every {every}th request is rejected)"
+        if retry_after is not None:
+            message += f" (retry after {retry_after:g}s)"
+        super().__init__(message)
+
+
+class ConnectionDroppedError(TransientBackendError):
+    """The connection to the backend dropped mid-request.
+
+    Raised for real by the remote transport when a socket dies without an
+    answer, and injectably by the chaos layer's scripted fault schedules so
+    connection-drop recovery is testable without a socket.  Retryable like
+    any transient fault — but a dropped connection may or may not have been
+    *executed* server-side, which is why the transport never re-sends one
+    silently (see :class:`repro.backends.remote.RemoteBackend`).
+    """
+
+    def __init__(self, message: str = "connection to the backend dropped") -> None:
+        super().__init__(message)
+
+
+class CircuitOpenError(TransientBackendError):
+    """A circuit breaker is OPEN: the call failed fast, nothing was sent.
+
+    Raised by :class:`repro.backends.resilience.CircuitBreakerLayer` when the
+    rolling failure window tripped — the wrapped backend is presumed down and
+    callers fail in microseconds instead of burning threads on doomed
+    round-trips.  ``retry_after`` is when the breaker will allow its next
+    half-open probe; over the wire this maps to HTTP 503 plus a
+    ``Retry-After`` header.  Although formally transient, retry layers pass
+    it straight through: retrying an open circuit before ``retry_after`` is
+    exactly the hammering the breaker exists to stop.
+    """
+
+    def __init__(self, retry_after: float | None = None, message: str = "") -> None:
+        self.retry_after = retry_after
+        text = message or "circuit breaker is open; failing fast without calling the backend"
+        if retry_after is not None:
+            text += f" (next probe in {retry_after:.3f}s)"
+        super().__init__(text)
+
+
+class DeadlineExceededError(InterfaceError):
+    """The submission's deadline expired before (or while) it could be served.
+
+    Deliberately *not* a :class:`TransientBackendError`: with the time budget
+    spent there is nothing left to retry against, so retry layers raise it
+    instead of sleeping past the deadline, and the HTTP server sheds
+    already-expired work with it (503) before touching the backend.
+    """
+
+    def __init__(self, operation: str = "submission", remaining_ms: int | None = None) -> None:
+        self.operation = operation
+        self.remaining_ms = remaining_ms
+        message = f"deadline exceeded before {operation} could complete"
+        if remaining_ms is not None:
+            message += f" ({remaining_ms} ms remained when it was last checked)"
         super().__init__(message)
 
 

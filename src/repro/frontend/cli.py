@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --remote: ship up to M queries per wire round-trip "
                              "through POST /api/submit_batch (per-item statuses; "
                              "combine with --parallel N to overlap chunks)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget for the whole run: retry backoff "
+                             "sleeps clip to the remaining budget, expired work "
+                             "fails fast with a typed error, and with --remote the "
+                             "remaining budget travels to the server so it sheds "
+                             "already-expired requests")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--histogram", nargs="*", default=None,
                         help="attributes whose sampled histograms to print (default: first two)")
@@ -196,7 +202,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(config.describe())
         print(f"access path: {backend.describe()}")
         print()
-        result = job.run()
+        if args.deadline is not None:
+            from repro.backends import Deadline, deadline_scope
+
+            with deadline_scope(Deadline.after(args.deadline)):
+                result = job.run()
+        else:
+            result = job.run()
         print(dashboard.render_progress_line())
         print()
         for attribute in histogram_attributes:

@@ -130,6 +130,19 @@ class Dashboard:
         shared = report.get("shared_history")
         if shared is not None:
             parts.append(f"shared history saved {shared['saved']} queries across jobs")
+        breakers = report.get("breakers")
+        if breakers:
+            states = [str(snapshot.get("state", "?")) for snapshot in breakers]
+            tripped = sum(1 for state in states if state != "closed")
+            fast_failures = sum(int(snapshot.get("fast_failures", 0)) for snapshot in breakers)
+            summary = "all closed" if tripped == 0 else f"{tripped}/{len(states)} tripped"
+            parts.append(f"breakers {summary}, {fast_failures} fast-failed")
+        failover = report.get("failover")
+        if failover is not None:
+            parts.append(
+                f"failover {failover.get('failovers', 0)}x over "
+                f"{len(failover.get('targets', ()))} targets"
+            )
         return "  |  ".join(parts)
 
     def render_recent_samples(self) -> str:

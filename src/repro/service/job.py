@@ -11,12 +11,17 @@ paper's interactive demo implies but the old blocking facade lacked:
   query-history cache instead of re-paying every interface query;
 * :meth:`snapshot` / :meth:`restore` round-trip a job through JSON so a
   paused workload survives a process restart (the hidden database itself is
-  the only thing that cannot be serialised — the caller re-binds it).
+  the only thing that cannot be serialised — the caller re-binds it);
+* :meth:`mark_degraded` parks a job whose backend circuit is open (see
+  :class:`~repro.backends.resilience.CircuitBreakerLayer`): the scheduler
+  skips it without losing its place in the rotation and revives it once the
+  breaker's retry hint elapses or a health probe clears the path.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterator, Mapping
 
 from repro.algorithms.base import SampleRecord
@@ -33,6 +38,9 @@ _job_counter = itertools.count(1)
 #: Current schema version of :meth:`SamplingJob.snapshot` payloads.
 SNAPSHOT_VERSION = 1
 
+#: How long a degraded job stays parked when the breaker gave no retry hint.
+DEFAULT_DEGRADED_PARK = 1.0
+
 
 class SamplingJob:
     """A submitted sampling workload with pause / resume / extend / snapshot."""
@@ -47,6 +55,7 @@ class SamplingJob:
         self.job_id = job_id or f"job-{next(_job_counter)}"
         self.backend = backend
         self.session = SamplingSession(database, config)
+        self._degraded_until: float | None = None
 
     # -- observation --------------------------------------------------------------------
 
@@ -88,6 +97,40 @@ class SamplingJob:
     def on_progress(self, callback: ProgressCallback) -> None:
         """Register a progress callback (the front end's live updates)."""
         self.session.on_progress(callback)
+
+    # -- degraded parking ----------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the job is parked on an unavailable backend."""
+        return self._degraded_until is not None
+
+    @property
+    def state_label(self) -> str:
+        """Operator-facing state: ``"degraded"`` while parked, else the session state."""
+        return "degraded" if self.degraded else self.state.value
+
+    def mark_degraded(self, retry_after: float | None = None) -> None:
+        """Park the job until the backend's circuit is worth probing again.
+
+        ``retry_after`` is the breaker's own hint (seconds until its next
+        half-open probe); without one the job parks for
+        :data:`DEFAULT_DEGRADED_PARK`.  Parking is not pausing: the session
+        state is untouched, the scheduler simply skips the job and revives it
+        when the wait elapses or a health check clears the path.
+        """
+        wait = retry_after if retry_after is not None and retry_after > 0 else DEFAULT_DEGRADED_PARK
+        self._degraded_until = time.monotonic() + wait
+
+    def degraded_remaining(self) -> float:
+        """Seconds of parking left (0.0 when not degraded or already due)."""
+        if self._degraded_until is None:
+            return 0.0
+        return max(0.0, self._degraded_until - time.monotonic())
+
+    def clear_degraded(self) -> None:
+        """Put the job back in the scheduler rotation."""
+        self._degraded_until = None
 
     # -- lifecycle ------------------------------------------------------------------------
 

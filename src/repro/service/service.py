@@ -28,25 +28,29 @@ through exactly the same job API as a local one.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping
+import time
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.config import HDSamplerConfig
 from repro.core.result import SamplingResult
 from repro.core.session import SessionState
 from repro.database.interface import HiddenDatabase
-from repro.exceptions import ConfigurationError, UnknownBackendError, UnknownJobError
+from repro.exceptions import CircuitOpenError, ConfigurationError, UnknownBackendError, UnknownJobError
 from repro.service.job import SamplingJob
 
 #: Name used when the service is bound to a single anonymous backend.
 DEFAULT_BACKEND = "default"
 
 
-def _resolve_backend(backend: HiddenDatabase | str) -> HiddenDatabase:
-    """Accept a backend object as-is; resolve an ``http(s)://`` URL string.
+def _resolve_backend(backend: "HiddenDatabase | str | Sequence[str]") -> HiddenDatabase:
+    """Accept a backend object as-is; resolve URL strings to remote stacks.
 
-    A URL becomes a :func:`~repro.backends.stack.remote_stack` — remote
+    A single URL becomes a :func:`~repro.backends.stack.remote_stack` — remote
     adapter under retry, budget and statistics layers — so the service's
-    accounting and job machinery work identically over the socket.
+    accounting and job machinery work identically over the socket.  A *list*
+    of URLs becomes a :func:`~repro.backends.stack.failover_stack`: the first
+    URL is the primary, the rest are replicas behind health-checked circuit
+    breakers, and the service fails over between them transparently.
     """
     if isinstance(backend, str):
         if not backend.startswith(("http://", "https://")):
@@ -57,6 +61,16 @@ def _resolve_backend(backend: HiddenDatabase | str) -> HiddenDatabase:
         from repro.backends.stack import remote_stack
 
         return remote_stack(backend)
+    if isinstance(backend, (list, tuple)):
+        urls = list(backend)
+        bad = [url for url in urls if not (isinstance(url, str) and url.startswith(("http://", "https://")))]
+        if bad or not urls:
+            raise ConfigurationError(
+                f"list backends must be non-empty lists of http(s):// URLs, got {backend!r}"
+            )
+        from repro.backends.stack import failover_stack
+
+        return failover_stack(urls)
     return backend
 
 
@@ -279,6 +293,10 @@ class SamplingService:
             if not job.done and job.state is not SessionState.PAUSED
         )
 
+    def degraded_jobs(self) -> tuple[SamplingJob, ...]:
+        """Jobs currently parked on an unavailable backend."""
+        return tuple(job for job in self._jobs.values() if job.degraded)
+
     def forget(self, job_id: str) -> None:
         """Drop a job from the registry (its session is simply released)."""
         with self._jobs_lock:
@@ -288,7 +306,9 @@ class SamplingService:
 
     # -- scheduling -------------------------------------------------------------------
 
-    def run_all(self, max_steps: int | None = None) -> dict[str, SamplingResult]:
+    def run_all(
+        self, max_steps: int | None = None, recovery_timeout: float = 0.0
+    ) -> dict[str, SamplingResult]:
         """Interleave every pending job round-robin, one step at a time.
 
         Each scheduler round gives every still-runnable job exactly one
@@ -299,22 +319,78 @@ class SamplingService:
         the total number of attempts across all jobs (``None`` runs until no
         job can make progress).
 
+        A step that hits an open circuit
+        (:class:`~repro.exceptions.CircuitOpenError`) does not kill the run:
+        the job parks as *degraded* for the breaker's retry hint while the
+        scheduler keeps driving jobs on healthy backends, and parked jobs
+        rejoin the rotation once their wait elapses or the breaker would
+        admit a probe again.  When *every* runnable job is parked the
+        scheduler sleeps until the earliest revival, spending at most
+        ``recovery_timeout`` seconds total on such waits (0.0, the default,
+        returns immediately instead — parked jobs stay registered and a later
+        ``run_all`` call picks them back up).
+
         Returns the current result bundle of every registered job, keyed by
         job id.
         """
         steps_taken = 0
+        recovery_budget = recovery_timeout
         while True:
-            runnable = self.pending_jobs()
+            self._revive_degraded()
+            runnable = [job for job in self.pending_jobs() if not job.degraded]
             if not runnable:
-                break
+                parked = [job for job in self.pending_jobs() if job.degraded]
+                if not parked:
+                    break
+                if recovery_budget <= 0.0:
+                    break
+                wait = min(
+                    recovery_budget,
+                    max(min(job.degraded_remaining() for job in parked), 0.005),
+                )
+                time.sleep(wait)
+                recovery_budget -= wait
+                continue
             for job in runnable:
-                if job.done or job.state is SessionState.PAUSED:
+                if job.done or job.state is SessionState.PAUSED or job.degraded:
                     continue
                 if max_steps is not None and steps_taken >= max_steps:
                     return self.results()
-                job.step()
+                try:
+                    job.step()
+                except CircuitOpenError as error:
+                    # The backend refused without doing work — park the job
+                    # rather than charging it an attempt or killing the run.
+                    job.mark_degraded(error.retry_after)
+                    continue
                 steps_taken += 1
         return self.results()
+
+    def _revive_degraded(self) -> None:
+        """Put parked jobs whose backend looks reachable back in rotation.
+
+        A job revives when its park time elapsed, or earlier when every
+        breaker on its backend's access path would admit a call again (a
+        health probe or another job's success already reclosed the circuit).
+        The early path only applies when the chain actually carries breakers:
+        a ``CircuitOpenError`` relayed from a *server-side* breaker leaves no
+        local state to inspect, so those jobs simply wait out their park.
+        """
+        from repro.backends.resilience import chain_would_allow, resilience_report
+
+        for job in self._jobs.values():
+            if not job.degraded:
+                continue
+            if job.degraded_remaining() <= 0.0:
+                job.clear_degraded()
+                continue
+            backend = self._backends.get(job.backend) if job.backend else None
+            if (
+                backend is not None
+                and resilience_report(backend) is not None
+                and chain_would_allow(backend)
+            ):
+                job.clear_degraded()
 
     def results(self) -> dict[str, SamplingResult]:
         """The current result bundle of every registered job."""
@@ -357,7 +433,7 @@ class SamplingService:
         lines = []
         for job in self._jobs.values():
             lines.append(
-                f"{job.job_id}  backend={job.backend}  state={job.state.value}  "
+                f"{job.job_id}  backend={job.backend}  state={job.state_label}  "
                 f"{job.samples_collected}/{job.config.n_samples} samples  "
                 f"{job.queries_issued} queries"
             )

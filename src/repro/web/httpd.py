@@ -45,10 +45,15 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
 from urllib.parse import urlsplit
+
+if TYPE_CHECKING:  # runtime import would cycle: repro.backends imports this module
+    from repro.backends.resilience import Deadline
 
 from repro.exceptions import (
     ConfigurationError,
+    DeadlineExceededError,
     FormParseError,
     PageNotFoundError,
     ReproError,
@@ -67,6 +72,14 @@ from repro.web.urlcodec import decode_query
 API_SCHEMA_PATH = "/api/schema"
 API_SUBMIT_PATH = "/api/submit"
 API_SUBMIT_BATCH_PATH = "/api/submit_batch"
+API_HEALTH_PATH = "/api/health"
+
+#: Request header carrying the client's remaining deadline budget in integer
+#: milliseconds (the server-side name for
+#: :data:`repro.backends.resilience.DEADLINE_HEADER`; duplicated here because
+#: ``repro.web`` must stay importable without dragging in ``repro.backends``
+#: — a unit test asserts the two strings agree).
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 #: Largest accepted ``POST /api/submit_batch`` body, bytes.  Far above any
 #: real batch (queries are a few hundred bytes each) while keeping a
@@ -116,10 +129,27 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(status, body, content_type, headers)
 
     def _error_response(self, error: Exception) -> tuple[int, bytes, str, dict]:
-        """Map any fault onto its status-code home (429 keeps Retry-After)."""
+        """Map any fault onto its status-code home (throttling keeps Retry-After)."""
         status, payload = error_to_payload(error)
-        headers: dict = {"Retry-After": "1"} if status == 429 else {}
+        headers = self._fault_headers(status, payload)
         return status, json.dumps(payload).encode("utf-8"), "application/json", headers
+
+    @staticmethod
+    def _fault_headers(status: int, payload: dict) -> dict:
+        """The extra headers a fault payload earns.
+
+        A payload carrying its own ``retry_after`` hint (a 429's throttle
+        window, an open circuit's next-probe time) ships it as the standard
+        ``Retry-After`` header too, so clients that never parse our JSON —
+        proxies, off-the-shelf HTTP libraries — still see the hint; a plain
+        429 keeps the legacy fixed hint of one second.
+        """
+        hint = payload.get("retry_after")
+        if isinstance(hint, (int, float)) and not isinstance(hint, bool) and hint >= 0:
+            return {"Retry-After": f"{hint:g}"}
+        if status == 429:
+            return {"Retry-After": "1"}
+        return {}
 
     def _respond(self, status: int, body: bytes, content_type: str, headers: dict) -> None:
         self.server.endpoint.count_request(status)
@@ -144,8 +174,11 @@ class _Handler(BaseHTTPRequestHandler):
             if split.path == API_SCHEMA_PATH:
                 payload: dict = endpoint.schema_payload()
                 status = 200
+            elif split.path == API_HEALTH_PATH:
+                status, payload = endpoint.health_payload()
+                headers.update(self._fault_headers(status, payload))
             elif split.path == API_SUBMIT_PATH:
-                payload = endpoint.submit_payload(split.query)
+                payload = endpoint.submit_payload(split.query, self._request_deadline())
                 status = 200
             else:
                 page = endpoint.page(self.path)
@@ -155,8 +188,7 @@ class _Handler(BaseHTTPRequestHandler):
             # escaping here is a bug and surfaces through the last-resort
             # 500 handler in do_GET, where it stays visible.
             status, payload = error_to_payload(error)
-            if status == 429:
-                headers["Retry-After"] = "1"
+            headers.update(self._fault_headers(status, payload))
         return status, json.dumps(payload).encode("utf-8"), "application/json", headers
 
     def _route_post(self) -> tuple[int, bytes, str, dict]:
@@ -167,14 +199,36 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if split.path != API_SUBMIT_BATCH_PATH:
                 raise PageNotFoundError(split.path)
-            payload = endpoint.submit_batch_payload(self._read_json_body())
+            deadline = self._request_deadline()
+            payload = endpoint.submit_batch_payload(self._read_json_body(), deadline)
             status = 200
         except ReproError as error:
             # Untyped faults escape to do_POST's last-resort 500 handler.
             status, payload = error_to_payload(error)
-            if status == 429:
-                headers["Retry-After"] = "1"
+            headers.update(self._fault_headers(status, payload))
         return status, json.dumps(payload).encode("utf-8"), "application/json", headers
+
+    def _request_deadline(self) -> "Deadline | None":
+        """The request's remaining time budget, parsed off the wire header.
+
+        Returns a :class:`repro.backends.resilience.Deadline` (re-anchored on
+        this host's monotonic clock) when the client sent one, ``None``
+        otherwise.  A malformed value is the client's bug and answers 400.
+        """
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            remaining_ms = int(raw.strip())
+        except ValueError:
+            raise FormParseError(
+                f"unreadable {DEADLINE_HEADER} header: {raw!r}"
+            ) from None
+        # Imported lazily: repro.web must import without repro.backends
+        # (which itself imports this module for the API paths).
+        from repro.backends.resilience import Deadline
+
+        return Deadline.from_remaining_ms(remaining_ms)
 
     def _read_json_body(self) -> dict:
         """The request body as parsed JSON; malformed input is a 400."""
@@ -237,6 +291,7 @@ class HiddenDatabaseHTTPServer:
         "requests_served": "_lock",
         "fault_responses": "_lock",
         "batch_items_served": "_lock",
+        "deadline_shed": "_lock",
         "_batch_pool": "_batch_pool_lock",
     }
 
@@ -264,6 +319,7 @@ class HiddenDatabaseHTTPServer:
         self.requests_served = 0
         self.fault_responses = 0
         self.batch_items_served = 0
+        self.deadline_shed = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -312,12 +368,52 @@ class HiddenDatabaseHTTPServer:
         """The ``/api/schema`` response body."""
         return schema_to_dict(self.backend.schema, self.backend.k)
 
-    def submit_payload(self, query_string: str) -> dict:
-        """The ``/api/submit`` response body for one encoded query."""
-        query = decode_query(self.backend.schema, query_string)
-        return response_to_dict(self.backend.submit(query))
+    def health_payload(self) -> tuple[int, dict]:
+        """The ``/api/health`` response: ``(200, ok)`` or ``(503, degraded)``.
 
-    def submit_batch_payload(self, payload: dict) -> dict:
+        Degraded means a resilience node in the *served* chain (a circuit
+        breaker, a failover router with every target open) would refuse a
+        submission right now; the payload carries the shortest wait until one
+        would be admitted, which :meth:`_Handler._fault_headers` also ships
+        as ``Retry-After``.  A chain with no resilience nodes is always ok —
+        the probe then simply proves the HTTP endpoint itself answers, which
+        is what :class:`~repro.backends.resilience.FailoverRouter` needs from
+        a replica.
+        """
+        from repro.backends.resilience import chain_retry_after, chain_would_allow
+
+        healthy = chain_would_allow(self.backend)
+        with self._lock:
+            payload: dict = {
+                "status": "ok" if healthy else "degraded",
+                "requests_served": self.requests_served,
+                "fault_responses": self.fault_responses,
+                "deadline_shed": self.deadline_shed,
+            }
+        if not healthy:
+            payload["retry_after"] = chain_retry_after(self.backend)
+        return (200 if healthy else 503), payload
+
+    def submit_payload(self, query_string: str, deadline: "Deadline | None" = None) -> dict:
+        """The ``/api/submit`` response body for one encoded query.
+
+        A request whose wire deadline already expired is shed with
+        :class:`~repro.exceptions.DeadlineExceededError` (503) *before* the
+        backend — or even the query decoder — is touched: the client stopped
+        waiting, so any work done now is pure waste.  A live deadline is
+        installed as the ambient scope so retry layers in the served chain
+        respect what remains of it.
+        """
+        from repro.backends.resilience import deadline_scope
+
+        if deadline is not None and deadline.expired:
+            self.count_deadline_shed()
+            raise DeadlineExceededError("server-side submission", remaining_ms=0)
+        query = decode_query(self.backend.schema, query_string)
+        with deadline_scope(deadline):
+            return response_to_dict(self.backend.submit(query))
+
+    def submit_batch_payload(self, payload: dict, deadline: "Deadline | None" = None) -> dict:
         """The ``/api/submit_batch`` response body: one status per item.
 
         A fault while answering one item becomes that item's ``error`` entry
@@ -326,11 +422,19 @@ class HiddenDatabaseHTTPServer:
         thread-safe; the striped history layer deduplicates and the budget
         layer charges exactly as it would for concurrent clients).
         """
+        from repro.backends.resilience import deadline_scope
+
+        if deadline is not None and deadline.expired:
+            self.count_deadline_shed()
+            raise DeadlineExceededError("server-side batch submission", remaining_ms=0)
         queries = batch_request_from_dict(self.backend.schema, payload)
 
         def answer(query) -> object:
             try:
-                return self.backend.submit(query)
+                # Re-installed per item: the pool threads never inherited the
+                # handler thread's ambient deadline scope.
+                with deadline_scope(deadline):
+                    return self.backend.submit(query)
             except Exception as error:  # noqa: BLE001 - per-item status
                 return error
 
@@ -354,6 +458,11 @@ class HiddenDatabaseHTTPServer:
             self.requests_served += 1
             if status >= 400:
                 self.fault_responses += 1
+
+    def count_deadline_shed(self) -> None:
+        """Count one request shed because its wire deadline had expired."""
+        with self._lock:
+            self.deadline_shed += 1
 
     def _pool(self) -> ThreadPoolExecutor:
         with self._batch_pool_lock:

@@ -28,6 +28,9 @@ from repro.database.query import ConjunctiveQuery
 from repro.database.schema import Attribute, AttributeKind, Domain, NumericBucket, Schema
 from repro.exceptions import (
     BackendAuthError,
+    CircuitOpenError,
+    ConnectionDroppedError,
+    DeadlineExceededError,
     FormParseError,
     PageNotFoundError,
     QueryBudgetExceededError,
@@ -158,7 +161,10 @@ def error_to_payload(error: Exception) -> tuple[int, dict]:
     "unreachable".
     """
     if isinstance(error, RateLimitedError):
-        return 429, {"error": "rate_limited", "message": str(error), "every": error.every}
+        payload = {"error": "rate_limited", "message": str(error), "every": error.every}
+        if error.retry_after is not None:
+            payload["retry_after"] = error.retry_after
+        return 429, payload
     if isinstance(error, QueryBudgetExceededError):
         return 403, {
             "error": "budget_exhausted",
@@ -168,6 +174,22 @@ def error_to_payload(error: Exception) -> tuple[int, dict]:
         }
     if isinstance(error, BackendAuthError):
         return error.status, {"error": "auth", "message": str(error)}
+    # The specific transient flavours carry their own tags (and hints) so the
+    # client rebuilds the exact type; they must precede the generic check.
+    if isinstance(error, CircuitOpenError):
+        payload = {"error": "circuit_open", "message": str(error)}
+        if error.retry_after is not None:
+            payload["retry_after"] = error.retry_after
+        return 503, payload
+    if isinstance(error, ConnectionDroppedError):
+        return 503, {"error": "connection_dropped", "message": str(error)}
+    if isinstance(error, DeadlineExceededError):
+        # 503, not 400: nothing was malformed — the work arrived too late to
+        # be worth doing, the per-request analogue of an overloaded server.
+        payload = {"error": "deadline", "message": str(error)}
+        if error.remaining_ms is not None:
+            payload["remaining_ms"] = error.remaining_ms
+        return 503, payload
     if isinstance(error, TransientBackendError):
         return 503, {"error": "transient", "message": str(error)}
     if isinstance(error, PageNotFoundError):
@@ -177,26 +199,62 @@ def error_to_payload(error: Exception) -> tuple[int, dict]:
     return 500, {"error": "internal", "message": f"{type(error).__name__}: {error}"}
 
 
-def error_from_payload(status: int, payload: Mapping) -> Exception:
+def _hint_seconds(value: object) -> float | None:
+    """A ``retry_after`` hint as non-negative seconds, or ``None`` if unusable."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
+def error_from_payload(
+    status: int, payload: Mapping, retry_after: float | None = None
+) -> Exception:
     """Rebuild the client-side exception for one failed request or batch item.
 
     The ``error`` tag wins when present (it survives proxies rewriting status
     codes); the HTTP status decides otherwise.  Auth-ish statuses — 401, or a
     403 *without* the budget payload — become :class:`BackendAuthError`, not
     a parse failure: retrying will not help and nothing was malformed.
+
+    ``retry_after`` is the transport-level ``Retry-After`` header (seconds),
+    when the response carried one; the JSON payload's own hint wins over it
+    (it survives proxies stripping headers), and whichever applies lands on
+    the rebuilt exception so retry layers can prefer the server's word over
+    their computed backoff.
     """
     tag = payload.get("error")
     message = payload.get("message", f"HTTP {status}")
+    hint = _hint_seconds(payload.get("retry_after"))
+    if hint is None:
+        hint = retry_after
     if tag == "rate_limited" or status == 429:
-        return RateLimitedError(payload.get("every"))
+        return RateLimitedError(payload.get("every"), retry_after=hint)
     if tag == "budget_exhausted" or (status == 403 and "budget" in payload):
         return QueryBudgetExceededError(
             int(payload.get("issued", 0)), int(payload.get("budget", 0))
         )
     if tag == "auth" or status in (401, 403):
         return BackendAuthError(status, str(message))
+    # Tagged transient flavours precede the generic >= 500 fallback so the
+    # client re-raises the exact server-side type.
+    if tag == "circuit_open":
+        return CircuitOpenError(retry_after=hint)
+    if tag == "connection_dropped":
+        return ConnectionDroppedError(str(message))
+    if tag == "deadline":
+        remaining = payload.get("remaining_ms")
+        return DeadlineExceededError(
+            "remote submission",
+            remaining_ms=int(remaining) if isinstance(remaining, int) else None,
+        )
     if tag in ("transient", "internal") or status >= 500:
-        return TransientBackendError(f"remote backend failure: {message}")
+        error = TransientBackendError(f"remote backend failure: {message}")
+        error.retry_after = hint
+        return error
     return FormParseError(f"remote backend rejected the request: {message}")
 
 

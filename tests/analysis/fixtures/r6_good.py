@@ -7,6 +7,7 @@ arrange that when constructing the :class:`ModuleSource`.
 
 def build_stack(inner, budget, seed):
     layer = CountModeLayer(inner)
+    layer = CircuitBreakerLayer(layer)
     layer = UnreliableLayer(layer, seed=seed)
     layer = BudgetLayer(layer, budget=budget)
     layer = StatisticsLayer(layer)

@@ -1,0 +1,129 @@
+"""Chaos must be invisible: a retried faulty stack samples byte-identically.
+
+The resilience tier's core correctness property — the whole reason retries,
+breakers and deadlines can be layered under a *reproducibility* project: a
+stack whose backend fails constantly but is healed by retries must hand the
+sampler the exact same response stream as a clean stack, so the accepted
+sample sequence (ids, values, probabilities, every byte of the result) is
+identical on shared seeds.  Hypothesis drives the property across fault
+rates, seeds and sampler configurations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import BackendStack, UnreliableLayer, engine_stack
+from repro.core.config import HDSamplerConfig
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.interface import CountMode
+from repro.database.query import ConjunctiveQuery
+from repro.database.ranking import StaticScoreRanking
+from repro.datasets.vehicles import (
+    VehiclesConfig,
+    default_vehicles_ranking,
+    generate_vehicles_table,
+)
+from repro.service import SamplingService
+
+
+def _clean_stack(table, ranking):
+    return engine_stack(table, 30, ranking=ranking, statistics=False)
+
+
+def _faulty_stack(table, ranking, failure_rate, chaos_seed, rate_limit_every=None):
+    clean = _clean_stack(table, ranking)
+    return BackendStack(
+        clean.top,
+        [
+            lambda inner: UnreliableLayer(
+                inner,
+                failure_rate=failure_rate,
+                rate_limit_every=rate_limit_every,
+                max_retries=50,  # enough to outlast any fault streak
+                retry_backoff=0.0,
+                seed=chaos_seed,
+            )
+        ],
+    )
+
+
+def _sample_fingerprint(result):
+    return [
+        (
+            sample.tuple_id,
+            tuple(sorted(sample.values.items())),
+            sample.selection_probability,
+            sample.acceptance_probability,
+        )
+        for sample in result.samples
+    ]
+
+
+@settings(deadline=None, max_examples=8)
+@given(
+    failure_rate=st.floats(min_value=0.3, max_value=0.85),
+    chaos_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    sampler_seed=st.integers(min_value=0, max_value=999),
+)
+def test_high_fault_stack_samples_byte_identically(failure_rate, chaos_seed, sampler_seed):
+    table = generate_vehicles_table(VehiclesConfig(n_rows=400, seed=11))
+    ranking = default_vehicles_ranking()
+    config = HDSamplerConfig(n_samples=4, seed=sampler_seed)
+
+    clean_result = SamplingService(_clean_stack(table, ranking)).submit(config).run()
+    faulty = _faulty_stack(table, ranking, failure_rate, chaos_seed)
+    faulty_result = SamplingService(faulty).submit(config).run()
+
+    assert _sample_fingerprint(faulty_result) == _sample_fingerprint(clean_result)
+    # The chaos really happened — the equivalence is not vacuous.
+    retry_layer = faulty.layer(UnreliableLayer)
+    assert retry_layer.statistics.transient_failures > 0
+    assert retry_layer.statistics.gave_up == 0
+
+
+@settings(deadline=None, max_examples=6)
+@given(chaos_seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_rate_limits_and_faults_together_stay_invisible(chaos_seed):
+    table = generate_vehicles_table(VehiclesConfig(n_rows=300, seed=7))
+    ranking = default_vehicles_ranking()
+    config = HDSamplerConfig(
+        n_samples=3, seed=5, tradeoff=TradeoffSlider(0.3)
+    )
+
+    clean_result = SamplingService(_clean_stack(table, ranking)).submit(config).run()
+    faulty = _faulty_stack(
+        table, ranking, failure_rate=0.5, chaos_seed=chaos_seed, rate_limit_every=3
+    )
+    faulty_result = SamplingService(faulty).submit(config).run()
+
+    assert _sample_fingerprint(faulty_result) == _sample_fingerprint(clean_result)
+    assert faulty_result.queries_issued == clean_result.queries_issued
+    retry_layer = faulty.layer(UnreliableLayer)
+    assert retry_layer.statistics.rate_limited > 0
+
+
+def test_scripted_schedule_is_deterministic_run_to_run(tiny_table):
+    """Two identically-scripted stacks produce identical responses *and*
+    identical statistics — the property that makes chaos tests replayable."""
+    def build():
+        clean = engine_stack(
+            tiny_table, k=2, ranking=StaticScoreRanking(),
+            count_mode=CountMode.EXACT, statistics=False,
+        )
+        return BackendStack(
+            clean.top,
+            [
+                lambda inner: UnreliableLayer(
+                    inner,
+                    max_retries=4,
+                    retry_backoff=0.0,
+                    schedule=["transient", "ok", "drop", "rate_limit:0", "ok"] * 4,
+                )
+            ],
+        )
+
+    first, second = build(), build()
+    queries = [ConjunctiveQuery.empty(tiny_table.schema)] * 6
+    assert [first.submit(q) for q in queries] == [second.submit(q) for q in queries]
+    assert first.layer(UnreliableLayer).statistics == second.layer(UnreliableLayer).statistics

@@ -1,0 +1,147 @@
+"""DEGRADED parking: one dead backend must not stall the whole service.
+
+A job whose backend circuit is open parks as degraded instead of killing
+``run_all``; jobs on healthy backends keep their scheduler slots, and the
+parked job rejoins the rotation once the breaker would admit a probe again.
+"""
+
+import pytest
+
+from repro.backends import (
+    BackendStack,
+    CircuitBreakerLayer,
+    CircuitBreakerPolicy,
+    UnreliableLayer,
+    engine_stack,
+)
+from repro.core.config import HDSamplerConfig
+from repro.database.interface import CountMode
+from repro.database.ranking import StaticScoreRanking
+from repro.exceptions import CircuitOpenError, TransientBackendError
+from repro.service import SamplingService
+from repro.service.job import DEFAULT_DEGRADED_PARK
+
+
+class SwitchableBackend:
+    """Raw-contract shim whose availability the test flips at will."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.failing = False
+
+    @property
+    def schema(self):
+        return self.inner.schema
+
+    @property
+    def k(self):
+        return self.inner.k
+
+    def submit(self, query):
+        if self.failing:
+            raise TransientBackendError("backend down")
+        return self.inner.submit(query)
+
+
+def guarded_stack(tiny_table, switchable, reset_timeout=0.05):
+    return BackendStack(
+        switchable,
+        [
+            lambda inner: CircuitBreakerLayer(
+                inner,
+                policy=CircuitBreakerPolicy(
+                    window=4, failure_threshold=2, reset_timeout=reset_timeout
+                ),
+            ),
+            # Retries above the breaker: the first transient faults are
+            # retried (tripping the window), then the open-circuit fast-fail
+            # passes straight through to the scheduler.
+            lambda inner: UnreliableLayer(inner, max_retries=3, retry_backoff=0.0),
+        ],
+    )
+
+
+@pytest.fixture()
+def healthy_backend(tiny_table):
+    return engine_stack(
+        tiny_table, k=2, ranking=StaticScoreRanking(), count_mode=CountMode.EXACT
+    )
+
+
+@pytest.fixture()
+def switchable(tiny_table):
+    raw = engine_stack(
+        tiny_table, k=2, ranking=StaticScoreRanking(),
+        count_mode=CountMode.EXACT, statistics=False,
+    ).top
+    return SwitchableBackend(raw)
+
+
+class TestDegradedParking:
+    def test_open_circuit_parks_the_job_instead_of_crashing_run_all(
+        self, tiny_table, healthy_backend, switchable
+    ):
+        service = SamplingService(
+            {
+                "good": healthy_backend,
+                "bad": guarded_stack(tiny_table, switchable, reset_timeout=60.0),
+            }
+        )
+        good_job = service.submit(HDSamplerConfig(n_samples=2, seed=1), backend="good")
+        bad_job = service.submit(HDSamplerConfig(n_samples=2, seed=1), backend="bad")
+        switchable.failing = True
+        results = service.run_all()
+        # The healthy workload finished; the sick one parked, not crashed.
+        assert results[good_job.job_id].sample_count == 2
+        assert good_job.done
+        assert bad_job.degraded and not bad_job.done
+        assert service.degraded_jobs() == (bad_job,)
+        assert bad_job.state_label == "degraded"
+        assert "degraded" in service.describe()
+
+    def test_parked_job_revives_and_completes_after_recovery(
+        self, tiny_table, switchable
+    ):
+        service = SamplingService(guarded_stack(tiny_table, switchable, reset_timeout=0.05))
+        job = service.submit(HDSamplerConfig(n_samples=2, seed=1))
+        switchable.failing = True
+        service.run_all()
+        assert job.degraded
+        # The backend heals; the breaker's reset timeout (0.05 s) elapses
+        # inside the recovery budget, the scheduler revives the job and
+        # drives it to completion in the same call.
+        switchable.failing = False
+        results = service.run_all(recovery_timeout=5.0)
+        assert not job.degraded
+        assert job.done
+        assert results[job.job_id].sample_count == 2
+
+    def test_zero_recovery_budget_returns_with_jobs_still_parked(
+        self, tiny_table, switchable
+    ):
+        service = SamplingService(guarded_stack(tiny_table, switchable, reset_timeout=60.0))
+        job = service.submit(HDSamplerConfig(n_samples=2, seed=1))
+        switchable.failing = True
+        service.run_all()  # default recovery_timeout=0.0: no waiting
+        assert job.degraded and not job.done
+
+    def test_park_uses_the_breaker_retry_hint(self):
+        from repro.service.job import SamplingJob  # noqa: F401 — import check
+
+        error = CircuitOpenError(retry_after=3.5)
+        assert error.retry_after == pytest.approx(3.5)
+        # And with no hint, the default park applies.
+        assert DEFAULT_DEGRADED_PARK > 0
+
+    def test_degraded_job_keeps_collected_samples_and_accounting(
+        self, tiny_table, switchable
+    ):
+        service = SamplingService(guarded_stack(tiny_table, switchable, reset_timeout=60.0))
+        job = service.submit(HDSamplerConfig(n_samples=20, seed=2))
+        service.run_all(max_steps=5)  # healthy warm-up: some progress
+        progressed = job.samples_collected
+        switchable.failing = True
+        service.run_all()
+        assert job.degraded
+        assert job.samples_collected >= progressed  # nothing was lost
+        assert job.queries_issued > 0
