@@ -28,6 +28,7 @@ these stacks; see ``docs/architecture.md`` for the full picture.
 """
 
 from repro.backends.adapters import QueryEngineBackend, WebPageBackend, build_returned_tuple
+from repro.backends.async_remote import AsyncRemoteBackend
 from repro.backends.base import BackendLayer, RawBackend, iter_chain
 from repro.backends.dispatch import ConcurrentShardRouter, DispatchLayer
 from repro.backends.history import CachedResponseSource, HistoryLayer, HistoryStatistics
@@ -54,6 +55,7 @@ from repro.backends.resilience import (
 from repro.backends.shard import ShardRouter, TableShardBackend
 from repro.backends.stack import (
     BackendStack,
+    async_remote_stack,
     engine_stack,
     failover_stack,
     introspect,
@@ -63,6 +65,7 @@ from repro.backends.stack import (
 )
 
 __all__ = [
+    "AsyncRemoteBackend",
     "BackendLayer",
     "BackendStack",
     "BreakerState",
@@ -89,6 +92,7 @@ __all__ = [
     "UnreliableLayer",
     "UnreliableStatistics",
     "WebPageBackend",
+    "async_remote_stack",
     "build_returned_tuple",
     "current_deadline",
     "deadline_scope",

@@ -69,6 +69,13 @@ from repro.exceptions import (
     FormParseError,
     TransientBackendError,
 )
+from repro.web.compress import (
+    DEFAULT_COMPRESS_THRESHOLD,
+    GZIP_ENCODING,
+    CompressionCounters,
+    decompress,
+    maybe_compress,
+)
 from repro.web.httpd import (
     API_HEALTH_PATH,
     API_SCHEMA_PATH,
@@ -92,6 +99,12 @@ DEFAULT_POOL_SIZE = 8
 #: the exponential curve reaches minutes within a dozen attempts — far past
 #: the point where waiting longer tells us anything new about the server.
 MAX_CONNECT_BACKOFF = 2.0
+
+#: Ceiling on what a compressed *response* may inflate to, bytes.  Batch
+#: answers legitimately dwarf their requests (every item carries up to ``k``
+#: tuples), so this is generous — its job is only to keep a corrupt or
+#: hostile stream from exhausting client memory.
+MAX_RESPONSE_BYTES = 128 * 1024 * 1024
 
 
 class _PooledConnection:
@@ -225,6 +238,7 @@ class RemoteBackend:
         pool_size: int = DEFAULT_POOL_SIZE,
         connect_retries: int = 0,
         connect_backoff: float = 0.05,
+        compress_threshold: int | None = DEFAULT_COMPRESS_THRESHOLD,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ConfigurationError(f"base_url must be an http(s) URL, got {base_url!r}")
@@ -232,8 +246,16 @@ class RemoteBackend:
             raise ConfigurationError("connect_retries must be non-negative")
         if connect_backoff < 0:
             raise ConfigurationError("connect_backoff must be non-negative")
+        if compress_threshold is not None and compress_threshold < 0:
+            raise ConfigurationError("compress_threshold must be non-negative when given")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Request bodies at or above this many bytes are gzip-compressed on
+        #: the wire (``None`` disables request compression); responses are
+        #: negotiated via ``Accept-Encoding`` regardless, and
+        #: :attr:`compression_statistics` counts both directions.
+        self.compress_threshold = compress_threshold
+        self._compression = CompressionCounters()
         split = urlsplit(self.base_url)
         #: A base URL may carry a path (a reverse proxy mounting the endpoint
         #: under a prefix); every request path is joined onto it.
@@ -324,6 +346,11 @@ class RemoteBackend:
     def pool_statistics(self) -> dict[str, int]:
         """Connection-reuse counters (opened / reused / stale_reconnects / idle)."""
         return self._pool.statistics()
+
+    @property
+    def compression_statistics(self) -> dict[str, int]:
+        """Wire-compression counters (requests_compressed / responses_decompressed)."""
+        return self._compression.statistics()
 
     def close(self) -> None:
         """Close every idle pooled connection (the backend stays usable)."""
@@ -422,9 +449,13 @@ class RemoteBackend:
         and the socket timeout is clipped so this client never blocks on a
         read longer than the budget allows.
         """
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", "Accept-Encoding": GZIP_ENCODING}
         if body is not None:
             headers["Content-Type"] = "application/json"
+            body, encoding = maybe_compress(body, self.compress_threshold)
+            if encoding is not None:
+                headers["Content-Encoding"] = encoding
+                self._compression.count_request()
         deadline = current_deadline()
         if deadline is not None:
             if deadline.expired:
@@ -458,6 +489,13 @@ class RemoteBackend:
                 # running under a different (or no) deadline.
                 connection.raw.sock.settimeout(self.timeout)
             self._pool.release(connection, reusable=not response.will_close)
+            response_encoding = response.getheader("Content-Encoding")
+            if response_encoding is not None:
+                # Negotiated by our Accept-Encoding above; a decode failure
+                # is a malformed payload (FormParseError), same as bad JSON.
+                raw_body = decompress(raw_body, response_encoding, MAX_RESPONSE_BYTES)
+                if (response_encoding or "").strip().lower() == GZIP_ENCODING:
+                    self._compression.count_response()
             return response.status, raw_body, self._retry_after_header(response)
 
     @staticmethod

@@ -27,6 +27,10 @@ layers — plus a retrying
 :class:`~repro.backends.layers.UnreliableLayer` — over a
 :class:`~repro.backends.remote.RemoteBackend` talking to a
 :mod:`repro.web.httpd` endpoint across a real socket.
+:func:`async_remote_stack` is the same composition over the event-loop
+transport (:class:`~repro.backends.async_remote.AsyncRemoteBackend` through
+its sync facade), so swapping a deployment between threaded and async
+serving never changes what the layers above it see.
 """
 
 from __future__ import annotations
@@ -429,6 +433,70 @@ def remote_stack(
     if pool_size is not None:
         remote_kwargs["pool_size"] = pool_size
     raw = RemoteBackend(url, **remote_kwargs)
+    inner_layers: list[LayerFactory] = []
+    if breaker:
+        policy = breaker if isinstance(breaker, CircuitBreakerPolicy) else None
+        inner_layers.append(lambda inner: CircuitBreakerLayer(inner, policy=policy))
+    retry: LayerFactory = lambda inner: UnreliableLayer(
+        inner, max_retries=max_retries, retry_backoff=retry_backoff, max_backoff=max_backoff
+    )
+    inner_layers.append(retry)
+    return _compose(
+        raw,
+        count_mode=None,
+        budget=budget,
+        history=history,
+        max_history_entries=max_history_entries,
+        statistics=statistics,
+        parallel=parallel,
+        batch=batch,
+        inner_layers=tuple(inner_layers),
+    )
+
+
+def async_remote_stack(
+    url: str,
+    budget: QueryBudget | None = None,
+    history: bool = False,
+    max_history_entries: int | None = None,
+    statistics: bool = True,
+    max_retries: int = 3,
+    retry_backoff: float = 0.05,
+    max_backoff: float | None = 1.0,
+    timeout: float = 10.0,
+    parallel: int | None = None,
+    batch: int | None = None,
+    pool_size: int | None = None,
+    breaker: CircuitBreakerPolicy | bool | None = None,
+) -> BackendStack:
+    """:func:`remote_stack` over the event-loop transport — same layers, same
+    order, different wire engine.
+
+    The raw backend is an
+    :class:`~repro.backends.async_remote.AsyncRemoteBackend` driven through
+    its sync facade: every layer above it — the optional
+    :class:`~repro.backends.resilience.CircuitBreakerLayer`, the retrying
+    :class:`~repro.backends.layers.UnreliableLayer`, budget, statistics,
+    history and dispatch — is *exactly* the composition ``remote_stack``
+    builds (reprolint R6 checks both builders against the same layer-order
+    table), so a deployment can switch between the threaded and async
+    serving tiers by swapping one builder call.  ``pool_size`` here bounds
+    concurrent in-flight requests **per event loop** (requests beyond it
+    queue on the client, multiplexing over the persistent connections)
+    rather than kept-alive sockets; the deadline, retry and breaker
+    semantics are byte-identical across the two transports — the async
+    equivalence tests hold them together.
+    """
+    from repro.backends.async_remote import AsyncRemoteBackend
+
+    remote_kwargs: dict = {
+        "timeout": timeout,
+        "connect_retries": max_retries,
+        "connect_backoff": retry_backoff,
+    }
+    if pool_size is not None:
+        remote_kwargs["pool_size"] = pool_size
+    raw = AsyncRemoteBackend(url, **remote_kwargs)
     inner_layers: list[LayerFactory] = []
     if breaker:
         policy = breaker if isinstance(breaker, CircuitBreakerPolicy) else None

@@ -36,7 +36,19 @@ reuses one TCP connection across many requests.  Batch items are answered
 concurrently over a bounded worker pool: every layer in the served chain —
 including the lock-striped :class:`~repro.backends.history.HistoryLayer` —
 is thread-safe, so nothing needs the serialising submit-lock earlier
-revisions carried (see ``docs/architecture.md``).
+revisions carried (see ``docs/architecture.md``).  Each connection carries a
+socket read/write timeout (``request_timeout``), so a stalled client — half a
+request line, then silence — costs one handler thread for a bounded interval
+instead of forever.
+
+Everything about the endpoint that is *not* the thread-per-connection
+front end — the payload logic behind the four API routes, the request
+counters, the batch worker pool, deadline shedding and the gzip wire
+compression policy (:mod:`repro.web.compress`) — lives in
+:class:`DatabaseEndpoint`, which the event-loop front end
+(:class:`repro.web.aiohttpd.AsyncHiddenDatabaseHTTPServer`) shares, so the
+two servers cannot drift semantically: same fault mapping, same compression
+negotiation, same counters.
 """
 
 from __future__ import annotations
@@ -58,6 +70,9 @@ from repro.exceptions import (
     PageNotFoundError,
     ReproError,
 )
+from repro.web.compress import DEFAULT_COMPRESS_THRESHOLD, GZIP_ENCODING, accepts_gzip
+from repro.web.compress import decompress as decompress_body
+from repro.web.compress import maybe_compress
 from repro.web.jsoncodec import (
     batch_request_from_dict,
     batch_response_to_dict,
@@ -83,8 +98,19 @@ DEADLINE_HEADER = "X-Repro-Deadline-Ms"
 
 #: Largest accepted ``POST /api/submit_batch`` body, bytes.  Far above any
 #: real batch (queries are a few hundred bytes each) while keeping a
-#: misbehaving client from ballooning the handler's memory.
+#: misbehaving client from ballooning the handler's memory.  A compressed
+#: body must also *inflate* to at most this many bytes — gzip cannot be used
+#: to smuggle an oversized envelope past the cap.
 MAX_BATCH_BODY_BYTES = 8 * 1024 * 1024
+
+#: Default per-connection socket timeout, seconds.  A client that opens a
+#: connection and stalls — half a request line, an unfinished body, a dead
+#: peer that never FINs — would otherwise pin one handler thread *forever*
+#: (the accept loop keeps spawning fresh threads, so the leak is silent until
+#: the process drowns in them).  Thirty seconds is far beyond any legitimate
+#: request gap on the persistent connections this repo's clients hold, while
+#: bounding the damage a slowloris-shaped client can do.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -99,6 +125,16 @@ class _Handler(BaseHTTPRequestHandler):
     # response stalls ~40 ms behind the peer's delayed ACK — turning it off
     # is what makes persistent connections actually fast.
     disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        # The per-connection socket timeout: ``StreamRequestHandler.setup``
+        # applies ``self.timeout`` via ``settimeout``, and
+        # ``handle_one_request`` treats the resulting ``TimeoutError`` as
+        # "discard this connection" — so a stalled or half-sent request
+        # releases its handler thread after a bounded wait instead of
+        # pinning it for the life of the process.
+        self.timeout = self.server.endpoint.request_timeout
+        super().setup()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         # Routing and payload computation are fully resolved to (status,
@@ -152,7 +188,19 @@ class _Handler(BaseHTTPRequestHandler):
         return {}
 
     def _respond(self, status: int, body: bytes, content_type: str, headers: dict) -> None:
-        self.server.endpoint.count_request(status)
+        endpoint = self.server.endpoint
+        endpoint.count_request(status)
+        # Response-side compression is negotiated per request: only JSON
+        # payloads (the HTML dialect predates the codec and stays plain),
+        # only when the client advertised Accept-Encoding: gzip, and only
+        # above the shared size threshold.
+        if content_type == "application/json" and accepts_gzip(
+            self.headers.get("Accept-Encoding")
+        ):
+            body, encoding = maybe_compress(body, endpoint.compress_threshold)
+            if encoding is not None:
+                headers["Content-Encoding"] = encoding
+                endpoint.count_compressed_response()
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
@@ -215,20 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
         this host's monotonic clock) when the client sent one, ``None``
         otherwise.  A malformed value is the client's bug and answers 400.
         """
-        raw = self.headers.get(DEADLINE_HEADER)
-        if raw is None:
-            return None
-        try:
-            remaining_ms = int(raw.strip())
-        except ValueError:
-            raise FormParseError(
-                f"unreadable {DEADLINE_HEADER} header: {raw!r}"
-            ) from None
-        # Imported lazily: repro.web must import without repro.backends
-        # (which itself imports this module for the API paths).
-        from repro.backends.resilience import Deadline
-
-        return Deadline.from_remaining_ms(remaining_ms)
+        return self.server.endpoint.deadline_from_wire(self.headers.get(DEADLINE_HEADER))
 
     def _read_json_body(self) -> dict:
         """The request body as parsed JSON; malformed input is a 400."""
@@ -245,13 +280,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
         body = self.rfile.read(length)
         self._body_consumed = True
-        try:
-            parsed = json.loads(body.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as error:
-            raise FormParseError(f"batch request body is not valid JSON: {error}") from None
-        if not isinstance(parsed, dict):
-            raise FormParseError("batch request body must be a JSON object")
-        return parsed
+        return self.server.endpoint.decode_json_body(
+            body, self.headers.get("Content-Encoding")
+        )
 
     def log_message(self, *args: object) -> None:  # pragma: no cover - silence
         pass
@@ -264,105 +295,68 @@ class _Server(ThreadingHTTPServer):
     endpoint: "HiddenDatabaseHTTPServer"
 
 
-class HiddenDatabaseHTTPServer:
-    """Serve one hidden-database backend over a real TCP socket.
+class DatabaseEndpoint:
+    """Everything both HTTP front ends share: payloads, counters, policy.
 
-    ``backend`` is any object satisfying the raw backend protocol (adapter,
-    layered :class:`~repro.backends.stack.BackendStack`, shard router, a
-    classic facade).  ``port=0`` (the default) lets the OS pick a free port —
-    the right choice for tests and benchmarks; read :attr:`url` after
-    construction.  ``batch_workers`` bounds the pool that answers the items
-    of one ``/api/submit_batch`` request concurrently (1 answers them
-    serially).  The server binds at construction time but only answers
-    once :meth:`start` spawns the serving thread (or :meth:`serve_forever`
-    takes over the calling thread).
-
-    Used as a context manager it starts on enter and stops on exit::
-
-        with HiddenDatabaseHTTPServer(stack) as server:
-            backend = RemoteBackend(server.url)
-            ...
+    One instance is the semantic half of a served endpoint — the payload
+    logic behind the four API routes, the HTML dialect, the batch worker
+    pool, deadline shedding, the gzip compression policy, and the request
+    counters — with the transport half supplied by a subclass: the
+    thread-per-connection :class:`HiddenDatabaseHTTPServer` below, or the
+    event-loop :class:`repro.web.aiohttpd.AsyncHiddenDatabaseHTTPServer`.
+    Keeping this class transport-free is what guarantees the two servers
+    answer byte-identically (the wire tests drive both through it).
     """
 
     #: Machine-checked by reprolint R1 (guarded-state): the request counters
-    #: update under ``_lock`` (handler threads report concurrently), and the
-    #: lazily-created batch pool swaps only under its own dedicated lock.
+    #: update under ``_lock`` (handler/executor threads report concurrently),
+    #: and the lazily-created batch pool swaps only under its own lock.
     _guarded_by = {
         "requests_served": "_lock",
         "fault_responses": "_lock",
         "batch_items_served": "_lock",
         "deadline_shed": "_lock",
+        "compressed_requests": "_lock",
+        "compressed_responses": "_lock",
         "_batch_pool": "_batch_pool_lock",
     }
 
     def __init__(
         self,
         backend: object,
-        host: str = "127.0.0.1",
-        port: int = 0,
         serve_pages: bool = True,
         batch_workers: int = 8,
+        compress_threshold: int | None = DEFAULT_COMPRESS_THRESHOLD,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         if batch_workers < 1:
             raise ConfigurationError("batch_workers must be at least 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive when given")
+        if compress_threshold is not None and compress_threshold < 0:
+            raise ConfigurationError("compress_threshold must be non-negative when given")
         self.backend = backend
         #: The HTML dialect is served through an ordinary in-process site
         #: over the same backend, so both dialects answer identically.
         self.site = HiddenWebSite(backend) if serve_pages else None
         self.batch_workers = batch_workers
+        #: Bodies at or above this many bytes gzip when the peer negotiated
+        #: it; ``None`` disables response compression entirely.
+        self.compress_threshold = compress_threshold
+        #: Per-connection socket timeout, seconds (``None`` disables — the
+        #: pre-timeout behaviour, kept reachable for debugging only).
+        self.request_timeout = request_timeout
         self._batch_pool: ThreadPoolExecutor | None = None
         self._batch_pool_lock = threading.Lock()
-        self._server = _Server((host, port), _Handler)
-        self._server.endpoint = self
-        self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
         self.requests_served = 0
         self.fault_responses = 0
         self.batch_items_served = 0
         self.deadline_shed = 0
+        self.compressed_requests = 0
+        self.compressed_responses = 0
 
-    # -- lifecycle --------------------------------------------------------------
-
-    @property
-    def url(self) -> str:
-        """Base URL of the endpoint, e.g. ``http://127.0.0.1:49152``."""
-        host, port = self._server.server_address[:2]
-        return f"http://{host}:{port}"
-
-    def start(self) -> "HiddenDatabaseHTTPServer":
-        """Serve in a background daemon thread; returns self for chaining."""
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name=f"hidden-db-httpd:{self._server.server_address[1]}",
-                daemon=True,
-            )
-            self._thread.start()
-        return self
-
-    def serve_forever(self) -> None:  # pragma: no cover - interactive use
-        """Serve on the calling thread until interrupted (CLI deployments)."""
-        self._server.serve_forever()
-
-    def stop(self) -> None:
-        """Stop serving and release the socket (and the batch worker pool)."""
-        self._server.shutdown()
-        self._server.server_close()
-        with self._batch_pool_lock:
-            pool, self._batch_pool = self._batch_pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-
-    def __enter__(self) -> "HiddenDatabaseHTTPServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.stop()
-
-    # -- request handling (called from handler threads) -------------------------
+    # -- request handling (called from handler/executor threads) ----------------
 
     def schema_payload(self) -> dict:
         """The ``/api/schema`` response body."""
@@ -464,6 +458,71 @@ class HiddenDatabaseHTTPServer:
         with self._lock:
             self.deadline_shed += 1
 
+    def count_compressed_response(self) -> None:
+        """Count one response body that left the server gzip-compressed."""
+        with self._lock:
+            self.compressed_responses += 1
+
+    def deadline_from_wire(self, raw: str | None) -> "Deadline | None":
+        """A request's remaining time budget, parsed off the wire header value.
+
+        Returns a :class:`repro.backends.resilience.Deadline` (re-anchored on
+        this host's monotonic clock) when the client sent one, ``None``
+        otherwise.  A malformed value is the client's bug and answers 400.
+        """
+        if raw is None:
+            return None
+        try:
+            remaining_ms = int(raw.strip())
+        except ValueError:
+            raise FormParseError(f"unreadable {DEADLINE_HEADER} header: {raw!r}") from None
+        # Imported lazily: repro.web must import without repro.backends
+        # (which itself imports this module for the API paths).
+        from repro.backends.resilience import Deadline
+
+        return Deadline.from_remaining_ms(remaining_ms)
+
+    def decode_json_body(self, body: bytes, content_encoding: str | None) -> dict:
+        """A request body — possibly gzip-compressed — as parsed JSON.
+
+        The compression negotiation is symmetric with the response side
+        (:mod:`repro.web.compress`): a body carrying ``Content-Encoding:
+        gzip`` is inflated (capped at :data:`MAX_BATCH_BODY_BYTES` so the
+        cap cannot be smuggled past in compressed form) before parsing.
+        Malformed input of either kind is the client's fault and answers 400.
+        """
+        if (content_encoding or "").strip().lower() == GZIP_ENCODING:
+            with self._lock:
+                self.compressed_requests += 1
+        body = decompress_body(body, content_encoding, MAX_BATCH_BODY_BYTES)
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise FormParseError(f"batch request body is not valid JSON: {error}") from None
+        if not isinstance(parsed, dict):
+            raise FormParseError("batch request body must be a JSON object")
+        return parsed
+
+    def wire_statistics(self) -> dict[str, int]:
+        """Plain-dict wire counters for benchmarks and tests."""
+        with self._lock:
+            return {
+                "requests_served": self.requests_served,
+                "fault_responses": self.fault_responses,
+                "batch_items_served": self.batch_items_served,
+                "deadline_shed": self.deadline_shed,
+                "compressed_requests": self.compressed_requests,
+                "compressed_responses": self.compressed_responses,
+            }
+
+    def close_pools(self) -> None:
+        """Shut down the lazily-created batch worker pool (front ends call
+        this from their own ``stop``)."""
+        with self._batch_pool_lock:
+            pool, self._batch_pool = self._batch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
     def _pool(self) -> ThreadPoolExecutor:
         with self._batch_pool_lock:
             if self._batch_pool is None:
@@ -472,6 +531,88 @@ class HiddenDatabaseHTTPServer:
                     thread_name_prefix="httpd-batch",
                 )
             return self._batch_pool
+
+
+class HiddenDatabaseHTTPServer(DatabaseEndpoint):
+    """Serve one hidden-database backend over a real TCP socket.
+
+    ``backend`` is any object satisfying the raw backend protocol (adapter,
+    layered :class:`~repro.backends.stack.BackendStack`, shard router, a
+    classic facade).  ``port=0`` (the default) lets the OS pick a free port —
+    the right choice for tests and benchmarks; read :attr:`url` after
+    construction.  ``batch_workers`` bounds the pool that answers the items
+    of one ``/api/submit_batch`` request concurrently (1 answers them
+    serially).  ``request_timeout`` bounds how long one connection may stall
+    between (or inside) requests before its handler thread is reclaimed.
+    The server binds at construction time but only answers once
+    :meth:`start` spawns the serving thread (or :meth:`serve_forever` takes
+    over the calling thread).
+
+    Used as a context manager it starts on enter and stops on exit::
+
+        with HiddenDatabaseHTTPServer(stack) as server:
+            backend = RemoteBackend(server.url)
+            ...
+    """
+
+    def __init__(
+        self,
+        backend: object,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        serve_pages: bool = True,
+        batch_workers: int = 8,
+        compress_threshold: int | None = DEFAULT_COMPRESS_THRESHOLD,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            backend,
+            serve_pages=serve_pages,
+            batch_workers=batch_workers,
+            compress_threshold=compress_threshold,
+            request_timeout=request_timeout,
+        )
+        self._server = _Server((host, port), _Handler)
+        self._server.endpoint = self
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint, e.g. ``http://127.0.0.1:49152``."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HiddenDatabaseHTTPServer":
+        """Serve in a background daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"hidden-db-httpd:{self._server.server_address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive use
+        """Serve on the calling thread until interrupted (CLI deployments)."""
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (and the batch worker pool)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self.close_pools()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "HiddenDatabaseHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"HiddenDatabaseHTTPServer(url={self.url!r})"

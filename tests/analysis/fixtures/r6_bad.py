@@ -9,3 +9,11 @@ def build_stack(inner, budget):
     layer = StatisticsLayer(inner)
     layer = BudgetLayer(layer, budget=budget)
     return HistoryLayer(layer)
+
+
+async def build_async_stack(inner, budget):
+    # Async builders are held to the same ordering contract: retries above
+    # the budget double-charge it no matter which transport runs below.
+    layer = BudgetLayer(inner, budget=budget)
+    layer = UnreliableLayer(layer)
+    return StatisticsLayer(layer)

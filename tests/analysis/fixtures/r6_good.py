@@ -13,3 +13,11 @@ def build_stack(inner, budget, seed):
     layer = StatisticsLayer(layer)
     layer = HistoryLayer(layer)
     return DispatchLayer(layer)
+
+
+async def build_async_stack(inner, budget):
+    layer = CircuitBreakerLayer(inner)
+    layer = UnreliableLayer(layer)
+    layer = BudgetLayer(layer, budget=budget)
+    layer = StatisticsLayer(layer)
+    return DispatchLayer(layer)

@@ -100,6 +100,15 @@ class TestRuleSpecifics:
         # fixture path: layer definitions may mention names in any order.
         assert run_rule(StackCompositionRule(), fixture_module("r6_bad")) == []
 
+    def test_r6_holds_async_builders_to_the_same_order(self):
+        # ``async_remote_stack`` made builders async-adjacent; the ordering
+        # contract must not depend on whether the builder is a coroutine.
+        findings = run_rule(
+            StackCompositionRule(),
+            fixture_module("r6_bad", display_path="repro/backends/stack.py"),
+        )
+        assert any("build_async_stack" in f.message for f in findings)
+
 
 class TestEngineBehaviour:
     def test_inline_suppression_silences_a_finding(self, tmp_path):
