@@ -18,9 +18,11 @@ window must see, and once the circuit opens the retry layer passes the
 fast-fail through rather than hammering a dead backend.
 
 The rule checks every function in the stack-builder modules (any file whose
-name is ``stack.py``): when a function's body mentions two or more of the
-ranked layer constructors, their first mentions must appear in non-decreasing
-rank order.  Mentioning one layer alone, or none, is fine — the rule fires on
+name is ``stack.py`` or ``recipes.py`` — the scenario harness composes its
+chaos stacks in ``repro/scenarios/recipes.py`` under the same contract):
+when a function's body mentions two or more of the ranked layer
+constructors, their first mentions must appear in non-decreasing rank
+order.  Mentioning one layer alone, or none, is fine — the rule fires on
 *composition* sites, not on the layer definitions themselves.
 """
 
@@ -45,8 +47,12 @@ LAYER_RANKS: dict[str, int] = {
 }
 
 #: Only composition modules are checked — layer *definitions* mention the
-#: names in arbitrary order legitimately.
-STACK_MODULE_NAME = "stack.py"
+#: names in arbitrary order legitimately.  ``stack.py`` holds the canonical
+#: builders; ``recipes.py`` holds scenario stack recipes built from them.
+STACK_MODULE_NAMES = ("stack.py", "recipes.py")
+
+#: Backwards-compatible alias (pre-scenarios name of the single checked module).
+STACK_MODULE_NAME = STACK_MODULE_NAMES[0]
 
 
 def _first_mentions(function: ast.FunctionDef | ast.AsyncFunctionDef) -> list[tuple[str, ast.AST]]:
@@ -79,7 +85,10 @@ class StackCompositionRule(Rule):
 
     def check_module(self, module: ModuleSource) -> Iterable[Finding]:
         path = module.display_path.replace("\\", "/")
-        if not path.endswith("/" + STACK_MODULE_NAME) and path != STACK_MODULE_NAME:
+        if not any(
+            path.endswith("/" + module_name) or path == module_name
+            for module_name in STACK_MODULE_NAMES
+        ):
             return ()
         findings: list[Finding] = []
         functions: list[ast.FunctionDef | ast.AsyncFunctionDef] = []

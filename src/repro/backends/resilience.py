@@ -260,6 +260,10 @@ FaultSpec = Fault | str
 def _parse_fault(spec: "Fault | str") -> Fault:
     if isinstance(spec, Fault):
         return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"fault spec must be a Fault or string shorthand, got {type(spec).__name__}: {spec!r}"
+        )
     token = spec.strip()
     if ":" in token:
         head, _, argument = token.partition(":")

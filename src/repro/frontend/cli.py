@@ -89,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measure attribute for --aggregate sum/avg (e.g. price)")
     parser.add_argument("--progress", action="store_true",
                         help="print a progress line every 10 accepted samples")
+    parser.add_argument("--scenario", nargs="*", default=None, metavar="NAME",
+                        help="run the named adversarial scenario(s) from the chaos "
+                             "corpus instead of a demo run (no names = whole corpus; "
+                             "see python -m repro.scenarios for the full harness)")
+    parser.add_argument("--list-scenarios", action="store_true", dest="list_scenarios",
+                        help="list the adversarial scenario corpus and exit")
     return parser
 
 
@@ -175,6 +181,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``hdsampler`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.list_scenarios or args.scenario is not None:
+        # Delegate to the scenario harness: same corpus, same scoring, no
+        # artifact file (operators wanting the JSON run the module directly).
+        from repro.scenarios.cli import main as scenarios_main
+
+        if args.list_scenarios:
+            return scenarios_main(["--list"])
+        return scenarios_main(["--only", *args.scenario, "--out", "-"])
 
     try:
         backend = _build_backend(args)

@@ -1,0 +1,53 @@
+"""Adversarial scenario harness: orchestrated chaos runs, scored.
+
+The corpus (:mod:`repro.scenarios.corpus`) declares what breaks; the
+runner (:mod:`repro.scenarios.runner`) executes it deterministically; the
+scorers (:mod:`repro.scenarios.scorers`) judge the paper's claims —
+uniformity, query cost, recovery — and the report codec
+(:mod:`repro.scenarios.report`) versions the evidence for CI artifacts.
+This is the designated accuracy backstop for performance PRs: a change
+that keeps the benchmarks green but skews the sampler fails here.
+"""
+
+from repro.scenarios.base import (
+    Hook,
+    MutableRaw,
+    RunProfile,
+    Scenario,
+    ScenarioEnv,
+    SwitchableRaw,
+    Thresholds,
+    fingerprint,
+)
+from repro.scenarios.corpus import build_corpus
+from repro.scenarios.report import (
+    REPORT_VERSION,
+    Gate,
+    ScenarioScore,
+    classify,
+    render_summary,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.scenarios.runner import DEFAULT_SEED, ScenarioRunner
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Gate",
+    "Hook",
+    "MutableRaw",
+    "REPORT_VERSION",
+    "RunProfile",
+    "Scenario",
+    "ScenarioEnv",
+    "ScenarioRunner",
+    "ScenarioScore",
+    "SwitchableRaw",
+    "Thresholds",
+    "build_corpus",
+    "classify",
+    "fingerprint",
+    "render_summary",
+    "report_from_dict",
+    "report_to_dict",
+]

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.scenarios``."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+sys.exit(main())

@@ -1,0 +1,96 @@
+"""``python -m repro.scenarios`` — run the chaos corpus and score it.
+
+Mirrors the benchmark CLIs: ``--quick`` is the CI profile, ``--check``
+turns the classification into an exit code (any FAIL, or any must-pass
+scenario not scoring PASS, fails the build), ``--format json`` prints the
+versioned report payload instead of the rendered table, and ``--out``
+writes the same payload to a file for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.exceptions import ReproError
+from repro.scenarios.corpus import build_corpus
+from repro.scenarios.report import render_summary, report_to_dict
+from repro.scenarios.runner import DEFAULT_SEED, ScenarioRunner
+
+#: Default artifact path (the CI job uploads ``SCENARIOS_*.json``).
+DEFAULT_OUT = "SCENARIOS_report.json"
+
+
+def build_cli_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run the adversarial scenario corpus and score uniformity, cost and recovery.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI profile: smaller tables and sample targets, same invariants")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every scenario passes its gates "
+                             "(no FAIL anywhere; must-pass scenarios strictly PASS)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="print a rendered summary table or the raw report payload")
+    parser.add_argument("--only", nargs="*", default=None, metavar="NAME",
+                        help="run only the named scenarios")
+    parser.add_argument("--list", action="store_true",
+                        help="list the corpus (name, failure mode, invariant) and exit")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="corpus seed; every scenario derives from it")
+    parser.add_argument("--out", default=DEFAULT_OUT, metavar="PATH",
+                        help=f"write the JSON report here (default: {DEFAULT_OUT}; '-' disables)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_cli_parser()
+    args = parser.parse_args(argv)
+    corpus = build_corpus()
+
+    if args.list:
+        for scenario in corpus:
+            marker = " [must pass]" if scenario.must_pass else ""
+            print(f"{scenario.name}{marker}")
+            print(f"    failure mode: {scenario.failure_mode}")
+            print(f"    invariant:    {scenario.invariant}")
+        return 0
+
+    try:
+        runner = ScenarioRunner(corpus, seed=args.seed, quick=args.quick)
+        scores = runner.run(only=args.only)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    payload = report_to_dict(
+        scores,
+        meta={"seed": args.seed, "quick": args.quick,
+              "corpus_size": len(corpus), "ran": len(scores)},
+    )
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_summary(scores))
+        if args.out != "-":
+            print(f"report written to {args.out}")
+
+    if args.check:
+        failed = [score for score in scores if score.classification == "FAIL"]
+        demoted = [score for score in scores if score.must_pass and not score.passed]
+        if failed or demoted:
+            names = sorted({score.name for score in failed + demoted})
+            print(f"check failed: {', '.join(names)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module executable
+    sys.exit(main())

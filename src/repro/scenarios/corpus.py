@@ -1,0 +1,355 @@
+"""The shipped scenario corpus: nine adversarial runs, each scored.
+
+Every scenario here answers one question about the paper's claims under a
+specific failure mode — not "did the process survive?" but "did the sampler
+still deliver near-uniform samples at bounded cost, without losing or
+duplicating work?".  The corpus table in ``docs/architecture.md`` mirrors
+this module; ``python -m repro.scenarios`` runs it.
+
+Determinism: every stochastic input (tables, chaos, sampler) derives from
+the corpus seed through fixed offsets, so a report is reproducible
+byte-for-byte from (corpus version, seed, quick profile).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.backends.resilience import FaultSchedule, resilience_report
+from repro.backends.layers import UnreliableLayer
+from repro.core.config import HDSamplerConfig
+from repro.core.session import SessionState
+from repro.core.tradeoff import TradeoffSlider
+from repro.database.table import Table
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+from repro.scenarios.base import (
+    Hook,
+    MutableRaw,
+    RunProfile,
+    Scenario,
+    ScenarioEnv,
+    SwitchableRaw,
+    Thresholds,
+    fingerprint,
+)
+from repro.scenarios.recipes import (
+    clean_recipe,
+    failover_remote_recipe,
+    guarded_retry_recipe,
+    retried_chaos_recipe,
+    starved_recipe,
+)
+from repro.scenarios.report import Gate
+from repro.service import SamplingService
+
+#: Interface k of the standard corpus stacks (tiny-k scenarios override it).
+CORPUS_K = 10
+
+
+# -- shared builders ---------------------------------------------------------------------
+
+
+def _categorical(full_rows: int, quick_rows: int, skew: float, cardinalities=(5, 4, 3), seed_offset: int = 0):
+    def build(profile: RunProfile) -> Table:
+        return generate_categorical_table(
+            CategoricalConfig(
+                n_rows=profile.scaled(full_rows, quick_rows),
+                cardinalities=cardinalities,
+                skew=skew,
+                seed=profile.seed + seed_offset,
+            )
+        )
+
+    return build
+
+
+def _config(full_samples: int, quick_samples: int, use_history: bool = True, seed_offset: int = 0):
+    def build(profile: RunProfile) -> HDSamplerConfig:
+        return HDSamplerConfig(
+            n_samples=profile.scaled(full_samples, quick_samples),
+            tradeoff=TradeoffSlider(0.0),  # lowest skew: the uniformity gates bite
+            use_history=use_history,
+            seed=profile.seed + seed_offset,
+        )
+
+    return build
+
+
+def _clean(k: int = CORPUS_K):
+    def build(env: ScenarioEnv):
+        return clean_recipe(env.table, k, seed=env.profile.seed)
+
+    return build
+
+
+def _note_gate(env: ScenarioEnv, key: str, hard: bool = True) -> Gate:
+    """A gate on a boolean note a hook was expected to record."""
+    value = bool(env.notes.get(key, False))
+    return Gate(name=key, value=value, threshold=True, passed=value, hard=hard)
+
+
+def _chaos_happened_gates(env: ScenarioEnv, counter: str) -> list[Gate]:
+    """The equivalence is not vacuous: faults really fired, none gave up."""
+    statistics = env.backend.layer(UnreliableLayer).statistics  # type: ignore[union-attr]
+    fired = getattr(statistics, counter)
+    return [
+        Gate(name=f"chaos_{counter}", value=fired, threshold=">= 1", passed=fired >= 1),
+        Gate(name="chaos_gave_up", value=statistics.gave_up, threshold=0, passed=statistics.gave_up == 0),
+    ]
+
+
+# -- lifecycle hook actions --------------------------------------------------------------
+
+
+def _checkpoint_restore(env: ScenarioEnv) -> None:
+    """Snapshot the live job through JSON, adopt it into a *new* service.
+
+    The restored job continues against the same backend object; the
+    continuity gates then prove the checkpointed prefix survived exactly
+    once.  This is the process-restart drill, minus the process.
+    """
+    payload = json.loads(json.dumps(env.job.snapshot()))
+    env.extras["checkpoint_fingerprint"] = fingerprint(list(env.job.result().samples))
+    replacement = SamplingService(env.backend)
+    restored = replacement.adopt(payload)
+    env.extras["restored_count"] = restored.samples_collected
+    env.note("restored_degraded", restored.degraded)
+    if restored.state is SessionState.PAUSED and not restored.degraded:
+        restored.resume()
+    env.service, env.job = replacement, restored
+    env.note("restored", True)
+
+
+def _drift_table(env: ScenarioEnv) -> None:
+    """Swap the hidden database's rows mid-run (same schema, same law)."""
+    drifted = generate_categorical_table(
+        CategoricalConfig(
+            n_rows=len(env.table),
+            cardinalities=(5, 4, 3),
+            skew=1.0,
+            seed=env.profile.seed + 99,
+        )
+    )
+    raw = env.extras["mutable"]
+    raw.swap(clean_recipe(drifted, CORPUS_K, seed=env.profile.seed).top)
+    env.note("drifted", True)
+
+
+def _kill_primary(env: ScenarioEnv) -> None:
+    from repro.backends.base import iter_chain
+    from repro.backends.resilience import FailoverRouter
+
+    server = env.servers[0]
+    env.extras["primary_port"] = int(server.url.rsplit(":", 1)[1])
+    server.stop()
+    # A dead process takes its TCP sockets with it; an in-process shutdown
+    # does not — lingering handler threads keep answering on the client's
+    # pooled keep-alive connections.  Sever them so the kill is a kill
+    # (same move as tests/web/test_deadline_http.py).
+    router = next(node for node in iter_chain(env.backend) if isinstance(node, FailoverRouter))
+    router.targets[0].close()
+    env.note("primary_killed", True)
+
+
+def _restart_primary(env: ScenarioEnv) -> None:
+    from repro.web.httpd import HiddenDatabaseHTTPServer
+
+    server = HiddenDatabaseHTTPServer(
+        env.extras["primary_backend"], port=env.extras["primary_port"]
+    )
+    server.start()
+    env.servers[0] = server
+    env.add_cleanup(server.stop)
+    env.note("primary_restarted", True)
+
+
+def _switch_off(env: ScenarioEnv) -> None:
+    env.extras["switch"].failing = True
+    env.note("outage_started", True)
+
+
+def _snapshot_parked_then_heal(env: ScenarioEnv) -> None:
+    """The DEGRADED drill: checkpoint the parked job, restore it parked,
+    then heal the backend so the scheduler revives the restored job."""
+    env.note("parked", env.job.degraded)
+    _checkpoint_restore(env)
+    env.extras["switch"].failing = False
+    env.note("healed", True)
+
+
+# -- scenario-specific recipes needing live servers or shims ----------------------------
+
+
+def _drifting_recipe(env: ScenarioEnv):
+    raw = MutableRaw(clean_recipe(env.table, CORPUS_K, seed=env.profile.seed).top)
+    env.extras["mutable"] = raw
+    return raw
+
+
+def _failover_recipe(env: ScenarioEnv):
+    from repro.web.httpd import HiddenDatabaseHTTPServer
+
+    primary_backend = clean_recipe(env.table, CORPUS_K, seed=env.profile.seed).top
+    replica_backend = clean_recipe(env.table, CORPUS_K, seed=env.profile.seed).top
+    env.extras["primary_backend"] = primary_backend
+    urls = []
+    for backend in (primary_backend, replica_backend):
+        server = HiddenDatabaseHTTPServer(backend)
+        server.start()
+        env.servers.append(server)
+        env.add_cleanup(server.stop)
+        urls.append(server.url)
+    return failover_remote_recipe(urls, reset_timeout=0.2)
+
+
+def _guarded_switchable_recipe(env: ScenarioEnv):
+    switch = SwitchableRaw(clean_recipe(env.table, CORPUS_K, seed=env.profile.seed).top)
+    env.extras["switch"] = switch
+    return guarded_retry_recipe(switch, reset_timeout=0.05)
+
+
+# -- the corpus --------------------------------------------------------------------------
+
+
+def build_corpus() -> tuple[Scenario, ...]:
+    """The nine shipped scenarios, in documentation order."""
+    return (
+        Scenario(
+            name="skewed_marginals",
+            failure_mode="heavily Zipf-skewed value distributions (skew 1.4)",
+            invariant="sampled marginals match ground truth despite skew",
+            dataset=_categorical(400, 250, skew=1.4),
+            recipe=_clean(),
+            config=_config(250, 120),
+            thresholds=Thresholds(alpha=0.001, uniformity_hard=True),
+        ),
+        Scenario(
+            name="tiny_k",
+            failure_mode="top-k interface with k=2: almost every query overflows",
+            invariant="uniformity survives an interface that shows almost nothing",
+            dataset=_categorical(240, 150, skew=0.8, cardinalities=(4, 3, 2), seed_offset=1),
+            recipe=_clean(k=2),
+            config=_config(180, 90, seed_offset=1),
+            thresholds=Thresholds(alpha=0.001, uniformity_hard=True),
+        ),
+        Scenario(
+            name="fault_85_retried",
+            failure_mode="85% of backend calls fail transiently; retries heal them",
+            invariant="sample sequence byte-identical to a clean run, cost unchanged",
+            dataset=_categorical(300, 200, skew=1.0, seed_offset=2),
+            recipe=lambda env: retried_chaos_recipe(
+                env.table, CORPUS_K, failure_rate=0.85,
+                chaos_seed=env.profile.seed + 12, seed=env.profile.seed,
+            ),
+            config=_config(150, 80, seed_offset=2),
+            baseline_recipe=_clean(),
+            identical_to_baseline=True,
+            thresholds=Thresholds(alpha=0.001, max_cost_ratio=1.05, cost_hard=True),
+            extra_gates=lambda env: _chaos_happened_gates(env, "transient_failures"),
+            must_pass=True,
+        ),
+        Scenario(
+            name="rate_limit_storm",
+            failure_mode="every other call answers 429 with a Retry-After hint",
+            invariant="hints are honoured, nothing gives up, samples identical",
+            dataset=_categorical(300, 200, skew=1.0, seed_offset=3),
+            recipe=lambda env: retried_chaos_recipe(
+                env.table, CORPUS_K,
+                schedule=FaultSchedule(["rate_limit:0.001", "ok"], repeat=True),
+                seed=env.profile.seed,
+            ),
+            config=_config(120, 60, seed_offset=3),
+            baseline_recipe=_clean(),
+            identical_to_baseline=True,
+            thresholds=Thresholds(alpha=0.001, max_cost_ratio=1.05, cost_hard=True),
+            extra_gates=lambda env: _chaos_happened_gates(env, "rate_limited"),
+        ),
+        Scenario(
+            name="drifting_data",
+            failure_mode="hidden database contents replaced mid-run (same law)",
+            invariant="run completes; stationary distribution keeps marginals near truth",
+            dataset=_categorical(300, 200, skew=1.0, seed_offset=4),
+            recipe=_drifting_recipe,
+            config=_config(160, 80, use_history=False, seed_offset=4),
+            hooks=(Hook(action=_drift_table, trigger="samples", at_fraction=0.5, label="drift"),),
+            thresholds=Thresholds(alpha=0.001, uniformity_hard=False),
+            extra_gates=lambda env: [_note_gate(env, "drifted")],
+        ),
+        Scenario(
+            name="server_kill_failover",
+            failure_mode="primary httpd killed mid-run, restarted near the end",
+            invariant="failover converges on the replica; samples identical to local",
+            dataset=_categorical(260, 180, skew=1.0, seed_offset=5),
+            recipe=_failover_recipe,
+            # History off: every query is a real wire round-trip, so the
+            # killed primary is guaranteed to matter (a warm cache would
+            # quietly absorb the outage and make the failover gate vacuous).
+            config=_config(90, 45, use_history=False, seed_offset=5),
+            baseline_recipe=_clean(),
+            identical_to_baseline=True,
+            hooks=(
+                Hook(action=_kill_primary, trigger="samples", at_fraction=0.4, label="kill"),
+                Hook(action=_restart_primary, trigger="samples", at_fraction=0.75, label="restart"),
+            ),
+            thresholds=Thresholds(alpha=0.001),
+            extra_gates=lambda env: [
+                _note_gate(env, "primary_killed"),
+                _note_gate(env, "primary_restarted"),
+                Gate(
+                    name="failovers_observed",
+                    value=(resilience_report(env.backend) or {}).get("failover", {}).get("failovers", 0),
+                    threshold=">= 1",
+                    passed=(resilience_report(env.backend) or {}).get("failover", {}).get("failovers", 0) >= 1,
+                ),
+            ],
+            must_pass=True,
+        ),
+        Scenario(
+            name="deadline_starved",
+            failure_mode="2ms backend latency under an 80ms ambient deadline",
+            invariant="expired windows fail fast and typed; completion and uniformity survive",
+            dataset=_categorical(260, 180, skew=1.0, seed_offset=6),
+            recipe=lambda env: starved_recipe(env.table, CORPUS_K, latency=0.002, seed=env.profile.seed),
+            config=_config(70, 35, seed_offset=6),
+            deadline_window=0.08,
+            thresholds=Thresholds(alpha=0.001),
+            extra_gates=lambda env: [
+                Gate(
+                    name="deadline_interruptions",
+                    value=env.notes.get("deadline_interruptions", 0),
+                    threshold=">= 1",
+                    passed=int(env.notes.get("deadline_interruptions", 0)) >= 1,  # type: ignore[arg-type]
+                )
+            ],
+        ),
+        Scenario(
+            name="checkpoint_restore",
+            failure_mode="job snapshotted through JSON at 50% and adopted by a new service",
+            invariant="checkpointed prefix survives exactly once; zero lost, zero duplicated",
+            dataset=_categorical(300, 200, skew=1.0, seed_offset=7),
+            recipe=_clean(),
+            config=_config(140, 70, seed_offset=7),
+            hooks=(Hook(action=_checkpoint_restore, trigger="samples", at_fraction=0.5, label="checkpoint"),),
+            thresholds=Thresholds(alpha=0.001),
+            extra_gates=lambda env: [_note_gate(env, "restored")],
+            must_pass=True,
+        ),
+        Scenario(
+            name="breaker_trip_recovery",
+            failure_mode="backend outage trips the breaker; parked job snapshotted, restored, healed",
+            invariant="run_all parks DEGRADED, the restored job revives and completes",
+            dataset=_categorical(260, 180, skew=1.0, seed_offset=8),
+            recipe=_guarded_switchable_recipe,
+            config=_config(80, 40, seed_offset=8),
+            hooks=(
+                Hook(action=_switch_off, trigger="samples", at_fraction=0.4, label="outage"),
+                Hook(action=_snapshot_parked_then_heal, trigger="degraded", label="park-restore-heal"),
+            ),
+            thresholds=Thresholds(alpha=0.001),
+            extra_gates=lambda env: [
+                _note_gate(env, "parked"),
+                _note_gate(env, "restored_degraded"),
+                _note_gate(env, "healed"),
+            ],
+        ),
+    )

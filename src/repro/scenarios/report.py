@@ -1,0 +1,191 @@
+"""Versioned scenario-report codec and the rendered summary table.
+
+A scenario run produces one :class:`ScenarioScore` per scenario; the corpus
+report bundles them with run metadata under an explicit ``version`` field so
+CI artifacts stay readable across harness revisions — an unknown version is
+a typed refusal, never a silent misparse (the same contract the job
+snapshot codec follows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analytics.report import format_float, render_table
+from repro.exceptions import ConfigurationError
+
+#: Current schema version of scenario-report payloads.
+REPORT_VERSION = 1
+
+#: The three terminal classifications, ordered best-first.
+CLASSIFICATIONS = ("PASS", "DEGRADED", "FAIL")
+
+
+@dataclass
+class Gate:
+    """One scored invariant: a measured value against its threshold.
+
+    ``hard`` gates decide PASS vs FAIL; a failed soft gate only degrades
+    the scenario.  ``threshold`` is rendered verbatim (it may be a number,
+    a bound like ``"<= 1.5"``, or ``None`` for informational metrics that
+    always pass).
+    """
+
+    name: str
+    value: object
+    threshold: object
+    passed: bool
+    hard: bool = True
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "hard": self.hard,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Gate":
+        return cls(
+            name=str(payload["name"]),
+            value=payload.get("value"),
+            threshold=payload.get("threshold"),
+            passed=bool(payload["passed"]),
+            hard=bool(payload.get("hard", True)),
+        )
+
+
+def classify(gates: Sequence[Gate]) -> str:
+    """PASS when every gate holds, FAIL on any hard miss, else DEGRADED."""
+    if any(not gate.passed and gate.hard for gate in gates):
+        return "FAIL"
+    if any(not gate.passed for gate in gates):
+        return "DEGRADED"
+    return "PASS"
+
+
+@dataclass
+class ScenarioScore:
+    """Everything one scenario run is judged on, JSON-serialisably."""
+
+    name: str
+    failure_mode: str
+    classification: str
+    gates: list[Gate] = field(default_factory=list)
+    metrics: dict[str, object] = field(default_factory=dict)
+    notes: dict[str, object] = field(default_factory=dict)
+    wall_time: float = 0.0
+    must_pass: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return self.classification == "PASS"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "failure_mode": self.failure_mode,
+            "classification": self.classification,
+            "gates": [gate.as_dict() for gate in self.gates],
+            "metrics": dict(self.metrics),
+            "notes": dict(self.notes),
+            "wall_time": self.wall_time,
+            "must_pass": self.must_pass,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioScore":
+        classification = str(payload["classification"])
+        if classification not in CLASSIFICATIONS:
+            raise ConfigurationError(
+                f"unknown scenario classification {classification!r} "
+                f"(expected one of {CLASSIFICATIONS})"
+            )
+        return cls(
+            name=str(payload["name"]),
+            failure_mode=str(payload.get("failure_mode", "")),
+            classification=classification,
+            gates=[Gate.from_dict(gate) for gate in payload.get("gates", ())],  # type: ignore[union-attr]
+            metrics=dict(payload.get("metrics", {})),  # type: ignore[arg-type]
+            notes=dict(payload.get("notes", {})),  # type: ignore[arg-type]
+            wall_time=float(payload.get("wall_time", 0.0)),  # type: ignore[arg-type]
+            must_pass=bool(payload.get("must_pass", False)),
+        )
+
+
+def report_to_dict(
+    scores: Sequence[ScenarioScore], meta: Mapping[str, object] | None = None
+) -> dict[str, object]:
+    """The corpus report as a versioned, JSON-serialisable payload."""
+    return {
+        "version": REPORT_VERSION,
+        "meta": dict(meta or {}),
+        "scenarios": [score.as_dict() for score in scores],
+        "summary": {
+            classification: sum(
+                1 for score in scores if score.classification == classification
+            )
+            for classification in CLASSIFICATIONS
+        },
+    }
+
+
+def report_from_dict(
+    payload: Mapping[str, object],
+) -> tuple[dict[str, object], list[ScenarioScore]]:
+    """Decode a report payload, refusing unknown versions."""
+    version = payload.get("version")
+    if version != REPORT_VERSION:
+        raise ConfigurationError(
+            f"unsupported scenario report version {version!r} "
+            f"(this build reads version {REPORT_VERSION})"
+        )
+    scores = [
+        ScenarioScore.from_dict(entry)
+        for entry in payload.get("scenarios", ())  # type: ignore[union-attr]
+    ]
+    return dict(payload.get("meta", {})), scores  # type: ignore[arg-type]
+
+
+def render_summary(scores: Sequence[ScenarioScore]) -> str:
+    """The operator-facing corpus table: one row per scenario."""
+    rows = []
+    for score in scores:
+        failed = [gate.name for gate in score.gates if not gate.passed]
+        rows.append(
+            (
+                score.name,
+                score.classification + (" *" if score.must_pass else ""),
+                score.failure_mode,
+                str(score.metrics.get("samples", "-")),
+                _metric(score.metrics.get("queries_per_sample")),
+                _metric(score.metrics.get("max_chi_square")),
+                _metric(score.metrics.get("cost_ratio")),
+                format_float(score.wall_time, 2) + "s",
+                ", ".join(failed) if failed else "-",
+            )
+        )
+    table = render_table(
+        (
+            "scenario", "verdict", "failure mode", "samples",
+            "q/sample", "chi2", "cost x", "wall", "failed gates",
+        ),
+        rows,
+    )
+    counts = {c: sum(1 for s in scores if s.classification == c) for c in CLASSIFICATIONS}
+    tail = (
+        f"{counts['PASS']} pass, {counts['DEGRADED']} degraded, "
+        f"{counts['FAIL']} fail ('*' = must pass)"
+    )
+    return f"{table}\n{tail}"
+
+
+def _metric(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format_float(value, 2)
+    return str(value)

@@ -1,0 +1,243 @@
+"""Deterministic execution of the scenario corpus.
+
+The runner is the only imperative part of the harness: it materialises a
+scenario's dataset, runs the clean baseline (when the scenario names one),
+drives the chaos run through :meth:`SamplingService.run_all` — stopping the
+scheduler between rounds to fire due lifecycle hooks, wrapping stints in
+the scenario's ambient deadline, surviving parked jobs — and finally turns
+the evidence into gates and a classification.  Everything stochastic
+derives from one corpus seed, so two runs of the same corpus version
+produce byte-identical reports (wall time aside).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.backends.resilience import Deadline, deadline_scope
+from repro.core.session import SessionState
+from repro.exceptions import DeadlineExceededError, ReproError
+from repro.scenarios.base import Hook, RunProfile, Scenario, ScenarioEnv, fingerprint
+from repro.scenarios.report import Gate, ScenarioScore, classify
+from repro.scenarios.scorers import (
+    completion_gate,
+    continuity_gates,
+    cost_gate,
+    identity_gates,
+    uniformity_gates,
+)
+from repro.service import SamplingService
+
+#: Default corpus seed — the paper's publication date, like repro._rng.
+DEFAULT_SEED = 20090630
+
+#: Per-stint recovery budget handed to ``run_all`` so parked jobs get a
+#: chance to revive inside one stint instead of spinning the outer loop.
+RECOVERY_SLICE = 2.0
+
+#: Outer-loop guards: a scenario that makes no progress for this many
+#: consecutive stints (or exceeds the stint cap) is scored as stalled
+#: rather than hanging CI forever.
+MAX_STINTS = 500
+MAX_STALLED_STINTS = 50
+
+
+class ScenarioRunner:
+    """Runs a scenario corpus deterministically and scores every run."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        seed: int = DEFAULT_SEED,
+        quick: bool = False,
+    ) -> None:
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate scenario names in corpus: {names}")
+        self.scenarios = tuple(scenarios)
+        self.profile = RunProfile(seed=seed, quick=quick)
+
+    def run(self, only: Sequence[str] | None = None) -> list[ScenarioScore]:
+        """Execute (a filter of) the corpus; a crashing scenario scores FAIL."""
+        selected = list(self.scenarios)
+        if only:
+            wanted = set(only)
+            unknown = wanted - {scenario.name for scenario in selected}
+            if unknown:
+                raise ReproError(
+                    f"unknown scenario(s) {sorted(unknown)}; "
+                    f"corpus has {[s.name for s in self.scenarios]}"
+                )
+            selected = [scenario for scenario in selected if scenario.name in wanted]
+        return [self.run_one(scenario) for scenario in selected]
+
+    def run_one(self, scenario: Scenario) -> ScenarioScore:
+        """One scenario end to end: build, disrupt, score."""
+        started = time.perf_counter()
+        env = ScenarioEnv(self.profile, scenario.dataset(self.profile))
+        try:
+            baseline_qps = self._run_baseline(scenario, env)
+            env.backend = scenario.recipe(env)
+            env.service = SamplingService(env.backend)
+            config = scenario.config(self.profile)
+            env.job = env.service.submit(config)
+            self._drive(scenario, env, target=config.n_samples)
+            return self._score(
+                scenario, env, baseline_qps, wall_time=time.perf_counter() - started
+            )
+        except ReproError as error:
+            # A typed failure anywhere in the run is evidence, not a crash:
+            # the scenario scores FAIL and the corpus keeps going.
+            return ScenarioScore(
+                name=scenario.name,
+                failure_mode=scenario.failure_mode,
+                classification="FAIL",
+                gates=[
+                    Gate(
+                        name="run_completed_without_typed_error",
+                        value=f"{type(error).__name__}: {error}",
+                        threshold="no error",
+                        passed=False,
+                    )
+                ],
+                notes=dict(env.notes),
+                wall_time=time.perf_counter() - started,
+                must_pass=scenario.must_pass,
+            )
+        finally:
+            env.cleanup()
+
+    # -- the chaos loop -----------------------------------------------------------------
+
+    def _run_baseline(self, scenario: Scenario, env: ScenarioEnv) -> float | None:
+        """The clean reference run: same table, same config, no faults."""
+        if scenario.baseline_recipe is None:
+            return None
+        backend = scenario.baseline_recipe(env)
+        result = SamplingService(backend).submit(scenario.config(self.profile)).run()
+        env.extras["baseline_samples"] = list(result.samples)
+        if not result.samples:
+            return None
+        return result.queries_issued / len(result.samples)
+
+    def _drive(self, scenario: Scenario, env: ScenarioEnv, target: int) -> None:
+        """Run the job to completion, firing hooks between scheduler rounds."""
+        pending = list(scenario.hooks)
+        stints = 0
+        stalled = 0
+        progress = (-1, -1)
+        while not env.job.done:
+            stints += 1
+            if stints > MAX_STINTS or stalled > MAX_STALLED_STINTS:
+                env.note("stalled", True)
+                return
+            if env.job.state is SessionState.PAUSED and not env.job.degraded:
+                env.job.resume()
+
+            def stop_for_due_hooks(_round: int) -> object:
+                return None if not self._due(pending, env, target) else False
+
+            try:
+                if scenario.deadline_window is not None:
+                    with deadline_scope(Deadline.after(scenario.deadline_window)):
+                        env.service.run_all(
+                            recovery_timeout=RECOVERY_SLICE, on_round=stop_for_due_hooks
+                        )
+                else:
+                    env.service.run_all(
+                        recovery_timeout=RECOVERY_SLICE, on_round=stop_for_due_hooks
+                    )
+            except DeadlineExceededError:
+                # The scenario's whole point: the ambient deadline expired
+                # mid-run.  Count it and re-enter with a fresh window — no
+                # sample already accepted is ever lost to the interruption.
+                env.bump("deadline_interruptions")
+            for hook in self._due(pending, env, target):
+                pending.remove(hook)
+                hook.action(env)
+                env.bump("hooks_fired")
+                if hook.label:
+                    env.note(f"hook:{hook.label}", env.job.samples_collected)
+            now = (env.job.samples_collected, env.job.queries_issued)
+            stalled = stalled + 1 if now == progress else 0
+            progress = now
+
+    @staticmethod
+    def _due(pending: Sequence[Hook], env: ScenarioEnv, target: int) -> list[Hook]:
+        due = []
+        for hook in pending:
+            if hook.trigger == "samples":
+                if env.job.samples_collected >= hook.at_fraction * target:
+                    due.append(hook)
+            elif hook.trigger == "degraded":
+                if env.job.degraded:
+                    due.append(hook)
+        return due
+
+    # -- scoring ------------------------------------------------------------------------
+
+    def _score(
+        self,
+        scenario: Scenario,
+        env: ScenarioEnv,
+        baseline_qps: float | None,
+        wall_time: float,
+    ) -> ScenarioScore:
+        result = env.job.result()
+        samples = list(result.samples)
+        thresholds = scenario.thresholds
+        gates: list[Gate] = [
+            completion_gate(len(samples), env.job.config.n_samples, env.job.done)
+        ]
+        metrics: dict[str, object] = {
+            "samples": len(samples),
+            "attempts": result.attempts,
+            "queries_issued": result.queries_issued,
+        }
+        if scenario.score_uniformity:
+            uniformity, extra = uniformity_gates(
+                samples,
+                env.table,
+                scenario.score_attributes,
+                alpha=thresholds.alpha,
+                max_skew_index=thresholds.max_skew_index,
+                hard=thresholds.uniformity_hard,
+            )
+            gates.extend(uniformity)
+            metrics.update(extra)
+        queries_per_sample = result.queries_issued / max(len(samples), 1)
+        gate, extra = cost_gate(
+            queries_per_sample, baseline_qps, thresholds.max_cost_ratio, thresholds.cost_hard
+        )
+        metrics.update(extra)
+        if gate is not None:
+            gates.append(gate)
+        if scenario.identical_to_baseline:
+            reference = env.extras.get("baseline_samples", [])
+            gates.extend(identity_gates(fingerprint(reference), fingerprint(samples)))
+        checkpoint = env.extras.get("checkpoint_fingerprint")
+        if checkpoint is not None:
+            gates.extend(
+                continuity_gates(
+                    checkpoint,
+                    fingerprint(samples),
+                    resumed_from=env.extras.get("restored_count"),
+                )
+            )
+        if scenario.extra_gates is not None:
+            gates.extend(scenario.extra_gates(env))
+        if env.notes.get("stalled"):
+            gates.append(
+                Gate(name="scheduler_progressed", value="stalled", threshold="progress", passed=False)
+            )
+        return ScenarioScore(
+            name=scenario.name,
+            failure_mode=scenario.failure_mode,
+            classification=classify(gates),
+            gates=gates,
+            metrics=metrics,
+            notes=dict(env.notes),
+            wall_time=wall_time,
+            must_pass=scenario.must_pass,
+        )

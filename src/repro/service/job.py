@@ -221,6 +221,12 @@ class SamplingJob:
         with what was spent before the checkpoint.  In-flight RNG state is
         *not* captured: a restored job continues with a fresh stream derived
         from the configured seed, which keeps checkpoints small and portable.
+
+        Degraded parking *is* captured (as seconds of park time left, since
+        monotonic deadlines do not survive a process restart): restoring a
+        job that was parked on an open circuit re-parks it for the remaining
+        wait, so the scheduler revives it exactly as it would have the
+        original.
         """
         session = self.session
         generator = session.generator
@@ -234,6 +240,9 @@ class SamplingJob:
             "state": session.state.value,
             "attempts": session.attempts,
             "config": session.config.to_dict(),
+            "degraded": (
+                {"remaining": self.degraded_remaining()} if self.degraded else None
+            ),
             "samples": [_sample_to_dict(sample) for sample in session.output.samples],
             "history": history.export_entries() if history is not None else None,
             "counters": {
@@ -293,9 +302,15 @@ class SamplingJob:
             session.generator.history.import_entries(history_entries)  # type: ignore[arg-type]
         _restore_counters(session, snapshot.get("counters"))
         session.state = SessionState(snapshot.get("state", SessionState.READY.value))
-        if session.state is SessionState.RUNNING:
+        degraded = snapshot.get("degraded")
+        if isinstance(degraded, Mapping):
+            remaining = float(degraded.get("remaining") or 0.0)  # type: ignore[arg-type]
+            job.mark_degraded(remaining if remaining > 0.0 else None)
+        elif session.state is SessionState.RUNNING:
             # A checkpoint taken mid-run restores as paused: nothing is
-            # actually executing until the caller resumes.
+            # actually executing until the caller resumes.  A *degraded*
+            # checkpoint stays schedulable instead — parking is not pausing,
+            # and the scheduler must be able to revive the restored job.
             session.state = SessionState.PAUSED
         return job
 

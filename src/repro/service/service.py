@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.core.config import HDSamplerConfig
 from repro.core.result import SamplingResult
@@ -40,6 +40,11 @@ from repro.service.job import SamplingJob
 
 #: Name used when the service is bound to a single anonymous backend.
 DEFAULT_BACKEND = "default"
+
+#: Signature of the :meth:`SamplingService.run_all` round hook: called with
+#: the 1-based round number after each scheduler round; returning ``False``
+#: stops the scheduler early.
+RoundCallback = Callable[[int], object]
 
 
 def _resolve_backend(backend: "HiddenDatabase | str | Sequence[str]") -> HiddenDatabase:
@@ -307,7 +312,10 @@ class SamplingService:
     # -- scheduling -------------------------------------------------------------------
 
     def run_all(
-        self, max_steps: int | None = None, recovery_timeout: float = 0.0
+        self,
+        max_steps: int | None = None,
+        recovery_timeout: float = 0.0,
+        on_round: "RoundCallback | None" = None,
     ) -> dict[str, SamplingResult]:
         """Interleave every pending job round-robin, one step at a time.
 
@@ -330,10 +338,20 @@ class SamplingService:
         returns immediately instead — parked jobs stay registered and a later
         ``run_all`` call picks them back up).
 
+        ``on_round`` is the scheduler's lifecycle hook: it is called after
+        every completed round (one pass over the runnable jobs) with the
+        1-based round number, *between* steps — never with a candidate
+        attempt in flight — so callers can observe progress, inject faults,
+        or checkpoint jobs at well-defined points.  Returning ``False``
+        stops the scheduler early (a later ``run_all`` picks the jobs back
+        up); any other return value continues.  The scenario harness
+        (:mod:`repro.scenarios`) drives its chaos hooks through this.
+
         Returns the current result bundle of every registered job, keyed by
         job id.
         """
         steps_taken = 0
+        rounds_completed = 0
         recovery_budget = recovery_timeout
         while True:
             self._revive_degraded()
@@ -364,6 +382,9 @@ class SamplingService:
                     job.mark_degraded(error.retry_after)
                     continue
                 steps_taken += 1
+            rounds_completed += 1
+            if on_round is not None and on_round(rounds_completed) is False:
+                break
         return self.results()
 
     def _revive_degraded(self) -> None:

@@ -1,0 +1,17 @@
+"""R6 fixture: scenario recipe mentions layers out of canonical order.
+
+Only meaningful when presented under a ``recipes.py`` display path; the
+tests arrange that when constructing the :class:`ModuleSource`.
+"""
+
+
+def breaker_above_retry_recipe(raw):
+    # The breaker must sit *below* the retry layer: each retry attempt is a
+    # real call its failure window should see.  This recipe inverts that.
+    layer = UnreliableLayer(raw)
+    return CircuitBreakerLayer(layer)
+
+
+def stats_under_storm_recipe(raw, budget):
+    layer = StatisticsLayer(raw)
+    return BudgetLayer(layer, budget=budget)

@@ -1,0 +1,19 @@
+"""R6 fixture: scenario recipe wires layers innermost-first (canonical order).
+
+Only meaningful when presented under a ``recipes.py`` display path (the
+scenario harness's composition module); the tests arrange that when
+constructing the :class:`ModuleSource`.
+"""
+
+
+def guarded_chaos_recipe(raw, budget, seed):
+    layer = CircuitBreakerLayer(raw)
+    layer = UnreliableLayer(layer, seed=seed)
+    layer = BudgetLayer(layer, budget=budget)
+    return StatisticsLayer(layer)
+
+
+def storm_recipe(raw, schedule):
+    # A single ranked mention is always fine — the rule fires on
+    # composition order, not on layer use.
+    return UnreliableLayer(raw, schedule=schedule)

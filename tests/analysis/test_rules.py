@@ -40,6 +40,10 @@ PAIRS = [
     pytest.param(DeterministicRngRule, "r4", None, id="R4-deterministic-rng"),
     pytest.param(LockOrderRule, "r5", None, id="R5-lock-order"),
     pytest.param(StackCompositionRule, "r6", "repro/backends/stack.py", id="R6-stack-composition"),
+    pytest.param(
+        StackCompositionRule, "r6_recipes", "repro/scenarios/recipes.py",
+        id="R6-scenario-recipes",
+    ),
 ]
 
 
@@ -99,6 +103,19 @@ class TestRuleSpecifics:
         # The same out-of-order builder is ignored under its real (non-stack)
         # fixture path: layer definitions may mention names in any order.
         assert run_rule(StackCompositionRule(), fixture_module("r6_bad")) == []
+
+    def test_r6_checks_scenario_recipe_modules(self):
+        # The scenario harness composes chaos stacks in ``recipes.py``;
+        # those recipes are held to the same layer-order contract as the
+        # canonical builders, under any package path...
+        findings = run_rule(
+            StackCompositionRule(),
+            fixture_module("r6_recipes_bad", display_path="repro/scenarios/recipes.py"),
+        )
+        assert any("breaker_above_retry_recipe" in f.message for f in findings)
+        assert any("stats_under_storm_recipe" in f.message for f in findings)
+        # ...while the same source under a non-composition path is ignored.
+        assert run_rule(StackCompositionRule(), fixture_module("r6_recipes_bad")) == []
 
     def test_r6_holds_async_builders_to_the_same_order(self):
         # ``async_remote_stack`` made builders async-adjacent; the ordering

@@ -40,7 +40,11 @@ def _faulty_stack(table, ranking, failure_rate, chaos_seed, rate_limit_every=Non
                 inner,
                 failure_rate=failure_rate,
                 rate_limit_every=rate_limit_every,
-                max_retries=50,  # enough to outlast any fault streak
+                # Enough to outlast any fault streak: at the 0.85 rate cap a
+                # 50-retry budget still gave up ~2e-4 per query — real odds
+                # over hundreds of queries × 8 examples.  At 150 the per-query
+                # odds are ~1e-11, safely out of flake territory.
+                max_retries=150,
                 retry_backoff=0.0,
                 seed=chaos_seed,
             )

@@ -172,6 +172,14 @@ class TestFaultSchedule:
         with pytest.raises(ConfigurationError):
             Fault("nope")
 
+    def test_entries_validated_at_construction(self):
+        # A typo'd kind, a malformed argument, an argument on an argless
+        # kind, and a non-string entry all fail *immediately* — never five
+        # minutes into a chaos run.
+        for bad in (["slowx:5"], ["slow:abc"], ["transient:2"], [5], [None], [["ok"]]):
+            with pytest.raises(ConfigurationError):
+                FaultSchedule(bad)
+
     def test_faults_build_their_typed_errors(self):
         assert Fault("ok").error() is None
         assert isinstance(Fault("transient").error(), TransientBackendError)

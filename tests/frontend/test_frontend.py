@@ -266,3 +266,18 @@ class TestCli:
         assert exit_code == 0
         assert "RemoteBackend" in captured.out
         assert "samples=5" in captured.out
+
+    def test_cli_lists_the_scenario_corpus(self, capsys):
+        from repro.scenarios.corpus import build_corpus
+
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for scenario in build_corpus():
+            assert scenario.name in out
+
+    def test_cli_delegates_scenario_runs_to_the_harness(self, capsys):
+        exit_code = main(["--scenario", "tiny_k"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "tiny_k" in captured.out
+        assert "PASS" in captured.out

@@ -1,0 +1,110 @@
+"""Report codec: versioned round-trips, classification, and rendering."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.report import (
+    REPORT_VERSION,
+    Gate,
+    ScenarioScore,
+    classify,
+    render_summary,
+    report_from_dict,
+    report_to_dict,
+)
+
+
+def make_score(name="fault_85", classification="PASS", **kwargs):
+    defaults = dict(
+        failure_mode="transient faults",
+        classification=classification,
+        gates=[
+            Gate(name="completed", value="40/40 (done=True)", threshold="40/40", passed=True),
+            Gate(name="uniformity:c1", value=3.2, threshold="chi2 <= 13.8", passed=True),
+        ],
+        metrics={"samples": 40, "cost_ratio": 1.0},
+        notes={"hooks_fired": 1},
+        wall_time=0.25,
+        must_pass=True,
+    )
+    defaults.update(kwargs)
+    return ScenarioScore(name=name, **defaults)
+
+
+class TestClassify:
+    def test_all_passing_gates_classify_pass(self):
+        gates = [Gate("a", 1, 1, passed=True), Gate("b", 2, 2, passed=True, hard=False)]
+        assert classify(gates) == "PASS"
+
+    def test_failed_soft_gate_degrades(self):
+        gates = [Gate("a", 1, 1, passed=True), Gate("b", 9, 2, passed=False, hard=False)]
+        assert classify(gates) == "DEGRADED"
+
+    def test_failed_hard_gate_fails_even_with_soft_failures(self):
+        gates = [Gate("a", 9, 1, passed=False, hard=True), Gate("b", 9, 2, passed=False, hard=False)]
+        assert classify(gates) == "FAIL"
+
+    def test_no_gates_is_a_vacuous_pass(self):
+        assert classify([]) == "PASS"
+
+
+class TestCodecRoundTrips:
+    def test_gate_survives_a_json_round_trip(self):
+        gate = Gate(name="cost_ratio_vs_baseline", value=1.04, threshold="<= 1.05", passed=True, hard=False)
+        assert Gate.from_dict(json.loads(json.dumps(gate.as_dict()))) == gate
+
+    def test_score_survives_a_json_round_trip(self):
+        score = make_score()
+        decoded = ScenarioScore.from_dict(json.loads(json.dumps(score.as_dict())))
+        assert decoded == score
+
+    def test_report_round_trips_version_meta_and_scores(self):
+        scores = [make_score(), make_score(name="tiny_k", classification="DEGRADED", must_pass=False)]
+        payload = json.loads(json.dumps(report_to_dict(scores, meta={"seed": 1, "quick": True})))
+        assert payload["version"] == REPORT_VERSION
+        assert payload["summary"] == {"PASS": 1, "DEGRADED": 1, "FAIL": 0}
+        meta, decoded = report_from_dict(payload)
+        assert meta == {"seed": 1, "quick": True}
+        assert decoded == scores
+
+    def test_unknown_report_version_is_a_typed_refusal(self):
+        payload = report_to_dict([make_score()])
+        payload["version"] = REPORT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            report_from_dict(payload)
+
+    def test_missing_version_is_also_refused(self):
+        with pytest.raises(ConfigurationError):
+            report_from_dict({"scenarios": []})
+
+    def test_unknown_classification_is_refused(self):
+        payload = make_score().as_dict()
+        payload["classification"] = "MEH"
+        with pytest.raises(ConfigurationError, match="classification"):
+            ScenarioScore.from_dict(payload)
+
+    def test_gate_hard_defaults_true_when_absent(self):
+        gate = Gate.from_dict({"name": "g", "passed": True})
+        assert gate.hard
+
+
+class TestRenderSummary:
+    def test_table_names_every_scenario_and_counts_verdicts(self):
+        scores = [
+            make_score(),
+            make_score(
+                name="drifting_data",
+                classification="DEGRADED",
+                must_pass=False,
+                gates=[Gate("uniformity:c1", 99.0, "chi2", passed=False, hard=False)],
+            ),
+        ]
+        rendered = render_summary(scores)
+        assert "fault_85" in rendered
+        assert "drifting_data" in rendered
+        assert "1 pass, 1 degraded, 0 fail" in rendered
+        # Failed gates are listed on their row; must-pass rows are starred.
+        assert "uniformity:c1" in rendered
+        assert "PASS *" in rendered

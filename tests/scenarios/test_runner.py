@@ -1,0 +1,126 @@
+"""The corpus contract and the runner driven end to end on a quick scenario."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.scenarios.base import Hook, RunProfile, Scenario, fingerprint
+from repro.scenarios.cli import main
+from repro.scenarios.corpus import build_corpus
+from repro.scenarios.report import REPORT_VERSION
+from repro.scenarios.runner import ScenarioRunner
+
+
+def corpus_by_name():
+    return {scenario.name: scenario for scenario in build_corpus()}
+
+
+class TestCorpusShape:
+    def test_corpus_ships_at_least_eight_named_scenarios(self):
+        corpus = build_corpus()
+        names = [scenario.name for scenario in corpus]
+        assert len(corpus) >= 8
+        assert len(set(names)) == len(names)
+
+    def test_every_scenario_documents_itself(self):
+        for scenario in build_corpus():
+            assert scenario.failure_mode, scenario.name
+            assert scenario.invariant, scenario.name
+
+    def test_the_acceptance_critical_scenarios_are_must_pass(self):
+        by_name = corpus_by_name()
+        for name in ("fault_85_retried", "server_kill_failover", "checkpoint_restore"):
+            assert by_name[name].must_pass, name
+
+    def test_identity_gated_scenarios_name_a_baseline(self):
+        for scenario in build_corpus():
+            if scenario.identical_to_baseline:
+                assert scenario.baseline_recipe is not None, scenario.name
+
+
+class TestDeclarationValidation:
+    def test_unknown_hook_trigger_is_refused(self):
+        with pytest.raises(ConfigurationError, match="trigger"):
+            Hook(action=lambda env: None, trigger="on_tuesdays")
+
+    def test_hook_fraction_outside_unit_interval_is_refused(self):
+        with pytest.raises(ConfigurationError, match="at_fraction"):
+            Hook(action=lambda env: None, at_fraction=1.5)
+
+    def test_identity_gate_without_baseline_recipe_is_refused(self):
+        template = corpus_by_name()["tiny_k"]
+        with pytest.raises(ConfigurationError, match="baseline"):
+            Scenario(
+                name="orphaned",
+                failure_mode="x",
+                invariant="y",
+                dataset=template.dataset,
+                recipe=template.recipe,
+                config=template.config,
+                identical_to_baseline=True,
+            )
+
+    def test_duplicate_corpus_names_are_refused(self):
+        scenario = corpus_by_name()["tiny_k"]
+        with pytest.raises(ReproError, match="duplicate"):
+            ScenarioRunner([scenario, scenario])
+
+    def test_unknown_only_filter_is_refused(self):
+        runner = ScenarioRunner(build_corpus(), quick=True)
+        with pytest.raises(ReproError, match="no_such_scenario"):
+            runner.run(only=["no_such_scenario"])
+
+
+class TestRunnerEndToEnd:
+    def test_quick_tiny_k_run_passes_and_is_deterministic(self):
+        scenario = corpus_by_name()["tiny_k"]
+        runner = ScenarioRunner([scenario], quick=True)
+        first = runner.run_one(scenario)
+        second = runner.run_one(scenario)
+        assert first.classification == "PASS"
+        assert any(gate.name == "completed" and gate.passed for gate in first.gates)
+        assert first.metrics["samples"] > 0
+        # Same seed, same scenario: everything but wall time is identical.
+        a, b = first.as_dict(), second.as_dict()
+        a.pop("wall_time"), b.pop("wall_time")
+        assert a == b
+
+    def test_profile_scaling_picks_the_quick_size(self):
+        assert RunProfile(seed=1, quick=True).scaled(1000, 40) == 40
+        assert RunProfile(seed=1, quick=False).scaled(1000, 40) == 1000
+
+    def test_fingerprint_keys_ids_values_and_weights(self):
+        class Draw:
+            tuple_id = 7
+            values = {"c1": "v0"}
+            selection_probability = 0.5
+            acceptance_probability = 0.25
+
+        assert fingerprint([Draw()]) == [(7, (("c1", "v0"),), 0.5, 0.25)]
+
+
+class TestCli:
+    def test_list_prints_the_corpus_without_running_it(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in build_corpus():
+            assert scenario.name in out
+
+    def test_quick_single_scenario_check_writes_a_versioned_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["--quick", "--only", "tiny_k", "--check", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["version"] == REPORT_VERSION
+        assert payload["meta"]["quick"] is True
+        assert [entry["name"] for entry in payload["scenarios"]] == ["tiny_k"]
+        assert "tiny_k" in capsys.readouterr().out
+
+    def test_json_format_prints_the_payload(self, capsys):
+        assert main(["--quick", "--only", "tiny_k", "--format", "json", "--out", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == REPORT_VERSION
+
+    def test_unknown_scenario_name_exits_2(self, capsys):
+        assert main(["--only", "no_such_scenario", "--out", "-"]) == 2
+        assert "no_such_scenario" in capsys.readouterr().err

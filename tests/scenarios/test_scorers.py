@@ -1,0 +1,260 @@
+"""Scorer math: red/green chi-square pairs and recovery edge cases.
+
+The uniformity scorer is checked against synthetic draws with a known
+verdict (exactly-proportional draws must pass, a point mass must fail),
+the critical-value approximation against classic table values, and the
+recovery scorers against the edge cases the harness leans on: zero
+samples, with-replacement duplicates, and restore divergence.
+"""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.datasets.categorical import CategoricalConfig, generate_categorical_table
+from repro.exceptions import ConfigurationError
+from repro.scenarios.scorers import (
+    MAX_SCORED_CARDINALITY,
+    chi_square_critical,
+    completion_gate,
+    continuity_gates,
+    cost_gate,
+    identity_gates,
+    multiset_divergence,
+    scored_attributes,
+    truth_proportions,
+    uniformity_gates,
+)
+
+
+@dataclass
+class FakeSample:
+    """Just enough of a sample for the uniformity scorer."""
+
+    selectable_values: dict = field(default_factory=dict)
+
+
+def make_table(cardinalities=(5, 4, 3), n_rows=400, skew=1.0, seed=7):
+    return generate_categorical_table(
+        CategoricalConfig(
+            n_rows=n_rows, cardinalities=cardinalities, skew=skew, seed=seed
+        )
+    )
+
+
+def proportional_draws(table, attribute, copies=1):
+    """Samples whose marginal exactly mirrors the ground truth (chi2 = 0)."""
+    return [
+        FakeSample({attribute: value})
+        for value, count in table.value_counts(attribute).items()
+        for _ in range(count * copies)
+    ]
+
+
+class TestChiSquareCritical:
+    # Classic table values the Wilson–Hilferty approximation must stay
+    # within a few percent of.
+    @pytest.mark.parametrize(
+        "df, alpha, expected",
+        [
+            (1, 0.05, 3.841),
+            (4, 0.05, 9.488),
+            (2, 0.01, 9.210),
+            (2, 0.001, 13.816),
+            (9, 0.001, 27.877),
+        ],
+    )
+    def test_matches_table_values(self, df, alpha, expected):
+        assert chi_square_critical(df, alpha) == pytest.approx(expected, rel=0.05)
+
+    def test_zero_df_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_critical(0, 0.05)
+
+    def test_unsupported_alpha_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_critical(3, 0.2)
+
+
+class TestUniformityGates:
+    def test_green_exactly_proportional_draws_pass(self):
+        table = make_table(skew=1.3)
+        samples = proportional_draws(table, "c1")
+        gates, metrics = uniformity_gates(samples, table, attributes=("c1",))
+        (gate,) = gates
+        assert gate.passed
+        assert metrics["max_chi_square"] == pytest.approx(0.0)
+        assert metrics["max_skew_index"] == pytest.approx(0.0)
+
+    def test_red_point_mass_fails_significance_and_skew_index(self):
+        table = make_table()
+        heaviest = max(
+            table.value_counts("c1"), key=lambda v: table.value_counts("c1")[v]
+        )
+        samples = [FakeSample({"c1": heaviest}) for _ in range(len(table))]
+        gates, metrics = uniformity_gates(samples, table, attributes=("c1",))
+        (gate,) = gates
+        assert not gate.passed
+        # The skew index is sample-size free: a point mass on a value of
+        # truth proportion p scores (1 - p) / p, far above any sane bound.
+        assert metrics["max_skew_index"] > 1.0
+
+    def test_zero_samples_fail_rather_than_vacuously_pass(self):
+        table = make_table()
+        gates, _ = uniformity_gates([], table, attributes=("c1",))
+        assert all(not gate.passed for gate in gates)
+
+    def test_soft_mode_marks_gates_non_hard(self):
+        table = make_table()
+        gates, _ = uniformity_gates([], table, attributes=("c1",), hard=False)
+        assert all(not gate.hard for gate in gates)
+
+    def test_skew_index_rescues_large_near_uniform_runs(self):
+        # Many copies of the exact marginal, then one extra draw: the
+        # statistic is tiny but nonzero.  At this n significance would be
+        # borderline for a truly biased sampler; the bounded-skew arm is
+        # what keeps a near-uniform run green.
+        table = make_table(skew=1.2)
+        samples = proportional_draws(table, "c2", copies=8)
+        samples.append(FakeSample({"c2": samples[0].selectable_values["c2"]}))
+        gates, metrics = uniformity_gates(samples, table, attributes=("c2",))
+        (gate,) = gates
+        assert gate.passed
+        assert metrics["max_skew_index"] < 0.25
+
+    def test_high_cardinality_attributes_are_skipped_by_default(self):
+        table = make_table(cardinalities=(4, MAX_SCORED_CARDINALITY + 5))
+        assert scored_attributes(table) == ("c1",)
+
+    def test_truth_proportions_sum_to_one(self):
+        table = make_table()
+        assert sum(truth_proportions(table, "c1").values()) == pytest.approx(1.0)
+
+
+class TestMultisetDivergence:
+    def test_identical_multisets_diverge_nowhere(self):
+        assert multiset_divergence(["a", "b", "b"], ["b", "a", "b"]) == {
+            "lost": 0,
+            "duplicated": 0,
+        }
+
+    def test_with_replacement_duplicates_are_legal_when_the_reference_drew_them(self):
+        # The sampler draws with replacement: a twice-drawn tuple is not a
+        # restore bug as long as the reference drew it twice too.
+        assert multiset_divergence(["t1", "t1", "t2"], ["t1", "t2", "t1"]) == {
+            "lost": 0,
+            "duplicated": 0,
+        }
+
+    def test_missing_reference_sample_counts_as_lost(self):
+        assert multiset_divergence(["a", "b"], ["a"]) == {"lost": 1, "duplicated": 0}
+
+    def test_extra_copy_counts_as_duplicated(self):
+        assert multiset_divergence(["a", "b"], ["a", "b", "b"]) == {
+            "lost": 0,
+            "duplicated": 1,
+        }
+
+    def test_zero_actual_samples_lose_the_whole_reference(self):
+        assert multiset_divergence(["a", "b", "c"], []) == {"lost": 3, "duplicated": 0}
+
+    def test_both_empty_is_clean(self):
+        assert multiset_divergence([], []) == {"lost": 0, "duplicated": 0}
+
+
+class TestIdentityGates:
+    def test_identical_sequences_pass_all_three(self):
+        gates = identity_gates(["a", "b"], ["a", "b"])
+        assert [gate.passed for gate in gates] == [True, True, True]
+        assert all(gate.hard for gate in gates)
+
+    def test_reordering_fails_only_the_sequence_gate(self):
+        by_name = {g.name: g for g in identity_gates(["a", "b"], ["b", "a"])}
+        assert by_name["samples_lost_vs_baseline"].passed
+        assert by_name["samples_duplicated_vs_baseline"].passed
+        assert not by_name["sequence_identical_to_baseline"].passed
+
+
+class TestContinuityGates:
+    def test_clean_restore_passes(self):
+        checkpoint = ["a", "b"]
+        by_name = {
+            g.name: g
+            for g in continuity_gates(checkpoint, ["a", "b", "c"], resumed_from=2)
+        }
+        assert all(gate.passed for gate in by_name.values())
+        assert set(by_name) == {
+            "checkpoint_samples_lost",
+            "checkpoint_prefix_preserved",
+            "checkpoint_resumed_exactly_once",
+        }
+
+    def test_dropped_checkpoint_sample_is_lost(self):
+        by_name = {
+            g.name: g for g in continuity_gates(["a", "b"], ["a", "c"], resumed_from=2)
+        }
+        assert not by_name["checkpoint_samples_lost"].passed
+
+    def test_reordered_prefix_fails_the_prefix_gate(self):
+        by_name = {
+            g.name: g
+            for g in continuity_gates(["a", "b"], ["b", "a", "c"], resumed_from=2)
+        }
+        assert by_name["checkpoint_samples_lost"].passed
+        assert not by_name["checkpoint_prefix_preserved"].passed
+
+    def test_replayed_segment_fails_the_resume_gate(self):
+        # A restore that replays the checkpointed segment reports a resume
+        # point below the checkpoint size even though every sample is
+        # present — the resume gate is what catches silent duplication.
+        by_name = {
+            g.name: g
+            for g in continuity_gates(["a", "b"], ["a", "b", "a", "b"], resumed_from=0)
+        }
+        assert not by_name["checkpoint_resumed_exactly_once"].passed
+
+    def test_without_resume_point_only_two_gates_apply(self):
+        gates = continuity_gates(["a"], ["a", "b"])
+        assert len(gates) == 2
+
+    def test_empty_checkpoint_is_trivially_continuous(self):
+        gates = continuity_gates([], ["a", "b"], resumed_from=0)
+        assert all(gate.passed for gate in gates)
+
+
+class TestCostGate:
+    def test_no_baseline_means_no_gate(self):
+        gate, metrics = cost_gate(3.0, None, max_ratio=1.5)
+        assert gate is None
+        assert metrics == {"queries_per_sample": 3.0}
+
+    def test_ratio_within_bound_passes(self):
+        gate, metrics = cost_gate(3.0, 2.0, max_ratio=2.0, hard=True)
+        assert gate.passed
+        assert gate.hard
+        assert metrics["cost_ratio"] == pytest.approx(1.5)
+
+    def test_ratio_over_bound_fails(self):
+        gate, _ = cost_gate(5.0, 2.0, max_ratio=1.5)
+        assert not gate.passed
+
+    def test_without_bound_the_ratio_is_reported_but_always_passes(self):
+        gate, metrics = cost_gate(9.0, 1.0, max_ratio=None)
+        assert gate.passed
+        assert metrics["cost_ratio"] == pytest.approx(9.0)
+
+    def test_zero_baseline_with_positive_cost_is_infinite(self):
+        gate, metrics = cost_gate(1.0, 0.0, max_ratio=10.0)
+        assert not gate.passed
+        assert metrics["cost_ratio"] == float("inf")
+
+
+class TestCompletionGate:
+    def test_done_at_target_passes(self):
+        assert completion_gate(10, 10, done=True).passed
+
+    def test_zero_samples_fail(self):
+        assert not completion_gate(0, 10, done=False).passed
+
+    def test_done_flag_alone_is_not_enough(self):
+        assert not completion_gate(5, 10, done=True).passed

@@ -145,3 +145,52 @@ class TestDegradedParking:
         assert job.degraded
         assert job.samples_collected >= progressed  # nothing was lost
         assert job.queries_issued > 0
+
+
+class TestDegradedSnapshotRestore:
+    def test_degraded_job_round_trips_and_revives(self, tiny_table, switchable):
+        import json
+
+        service = SamplingService(guarded_stack(tiny_table, switchable, reset_timeout=0.05))
+        job = service.submit(HDSamplerConfig(n_samples=6, seed=3))
+        service.run_all(max_steps=2)  # warm-up before the outage
+        assert not job.done
+        switchable.failing = True
+        service.run_all()
+        assert job.degraded and not job.done
+        collected_before = job.samples_collected
+
+        # The checkpoint records the parking (JSON-serialisably), and the
+        # restored job is parked — not paused, not in some undefined state.
+        payload = json.loads(json.dumps(job.snapshot()))
+        assert payload["degraded"] is not None
+        service.forget(job.job_id)
+        restored = service.adopt(payload)
+        assert restored.degraded
+        assert restored.state_label == "degraded"
+        assert restored in service.pending_jobs()  # schedulable, so revivable
+
+        # Backend heals: the scheduler revives the restored job and drives it
+        # to completion without losing or duplicating the checkpointed samples.
+        switchable.failing = False
+        results = service.run_all(recovery_timeout=5.0)
+        assert not restored.degraded
+        assert restored.done
+        assert results[restored.job_id].sample_count == 6
+        assert restored.samples_collected >= collected_before
+
+    def test_non_degraded_running_checkpoint_still_restores_paused(
+        self, tiny_table, switchable
+    ):
+        service = SamplingService(guarded_stack(tiny_table, switchable))
+        job = service.submit(HDSamplerConfig(n_samples=5, seed=4))
+        service.run_all(max_steps=2)
+        assert not job.degraded
+        payload = job.snapshot()
+        assert payload["degraded"] is None
+        service.forget(job.job_id)
+        restored = service.adopt(payload)
+        # The pre-existing contract is unchanged: a mid-run checkpoint of a
+        # healthy job restores as paused.
+        assert not restored.degraded
+        assert restored.state.value == "paused"
